@@ -1,0 +1,105 @@
+//! Criterion benchmarks of the simulator engine itself: event-loop
+//! throughput, per-flow-queue scheduling, routing-table construction,
+//! and telemetry processing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use netsim::prelude::*;
+
+/// One flow through a 2-host line network (NoCc): measures raw
+/// packet-event throughput.
+fn line_transfer(size: u64) -> u64 {
+    let mut b = NetBuilder::new(1000);
+    let h0 = b.add_host();
+    let h1 = b.add_host();
+    let s = b.add_switch(SwitchKind::Leaf, 22_000_000, PfcConfig::dc_switch());
+    b.connect(h0, s, 25 * GBPS, US, LinkOpts::default());
+    b.connect(h1, s, 25 * GBPS, US, LinkOpts::default());
+    let mut sim = Simulator::new(b.build(), SimConfig::default(), Box::new(NoCcFactory));
+    sim.add_flow(h0, h1, size, 0);
+    assert!(sim.run_until_flows_complete());
+    sim.out.events_processed
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let size = 10_000_000u64;
+    let events = line_transfer(size);
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(events));
+    g.sample_size(10);
+    g.bench_function("line_10mb_events", |b| {
+        b.iter(|| black_box(line_transfer(black_box(size))))
+    });
+    g.finish();
+}
+
+fn bench_pfq(c: &mut Criterion) {
+    use netsim::packet::Packet;
+    use netsim::pfq::{PfqDequeue, PfqSet};
+    let mut g = c.benchmark_group("pfq");
+    g.sample_size(20);
+    g.bench_function("enqueue_dequeue_16_flows", |b| {
+        b.iter(|| {
+            let mut set = PfqSet::new(100 * GBPS, 1048);
+            let mut now = 0;
+            let mut id = 0;
+            for round in 0..64u64 {
+                for f in 0..16u32 {
+                    id += 1;
+                    set.enqueue(
+                        Packet::data(id, FlowId(f), NodeId(0), NodeId(1), 0, 1000, now),
+                        now,
+                    );
+                }
+                now += round * 1000;
+                while let PfqDequeue::Packet(p) = set.dequeue(now) {
+                    black_box(p);
+                }
+            }
+            black_box(set.total_bytes())
+        })
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    g.sample_size(20);
+    g.bench_function("two_dc_tables_8_per_leaf", |b| {
+        b.iter(|| {
+            let topo = TwoDcTopology::build(TwoDcParams {
+                servers_per_leaf: 8,
+                ..TwoDcParams::default()
+            });
+            black_box(topo.net.links.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_int(c: &mut Criterion) {
+    use netsim::int::{HopHistory, IntHop, IntStack};
+    let mut g = c.benchmark_group("int");
+    g.bench_function("hop_history_max_utilization", |b| {
+        let mut h = HopHistory::new();
+        let mut ts = 0;
+        b.iter(|| {
+            ts += 1000;
+            let mut s = IntStack::new();
+            for hop in 0..5 {
+                s.push(IntHop {
+                    hop_id: hop,
+                    ts,
+                    qlen_bytes: 1000,
+                    tx_bytes: ts,
+                    link_bps: 100 * GBPS,
+                    is_dci: false,
+                });
+            }
+            black_box(h.max_utilization(&s, 10 * US, |_| true))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_loop, bench_pfq, bench_routing, bench_int);
+criterion_main!(benches);

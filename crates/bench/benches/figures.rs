@@ -1,0 +1,92 @@
+//! Criterion benches over the figure scenarios: one bench per experiment
+//! family, at reduced scale so a full `cargo bench` stays tractable.
+//! These measure the end-to-end cost of regenerating each figure's data
+//! (and double as smoke tests that every scenario still runs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlcc_bench::scenarios::convergence::{run as conv_run, Bottleneck};
+use mlcc_bench::scenarios::large_scale::{run as ls_run, LargeScaleConfig};
+use mlcc_bench::scenarios::motivation::{experiment1, experiment2, experiment3};
+use mlcc_bench::scenarios::testbed::run as testbed_run;
+use mlcc_bench::Algo;
+use mlcc_core::MlccParams;
+use netsim::units::MS;
+use workload::TrafficMix;
+
+fn bench_motivation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("motivation");
+    g.sample_size(10);
+    g.bench_function("fig02_exp1_dcqcn", |b| {
+        b.iter(|| black_box(experiment1(Algo::Dcqcn, 6 * MS)).pfc_total)
+    });
+    g.bench_function("fig03_exp2_dcqcn", |b| {
+        b.iter(|| black_box(experiment2(Algo::Dcqcn, 6 * MS)).pfc_total)
+    });
+    g.bench_function("fig04_exp3_dcqcn", |b| {
+        b.iter(|| black_box(experiment3(Algo::Dcqcn, 8 * MS)).pfc_total)
+    });
+    g.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convergence");
+    g.sample_size(10);
+    g.bench_function("fig07_sender_side_mlcc", |b| {
+        b.iter(|| {
+            black_box(conv_run(
+                Algo::Mlcc,
+                Bottleneck::SenderSide,
+                true,
+                10 * MS,
+                MlccParams::default(),
+            ))
+            .jain_final
+        })
+    });
+    g.bench_function("fig08_receiver_side_mlcc", |b| {
+        b.iter(|| {
+            black_box(conv_run(
+                Algo::Mlcc,
+                Bottleneck::ReceiverSide,
+                true,
+                10 * MS,
+                MlccParams::default(),
+            ))
+            .jain_final
+        })
+    });
+    g.finish();
+}
+
+fn bench_large_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("large_scale");
+    g.sample_size(10);
+    let mut cfg = LargeScaleConfig::heavy(TrafficMix::Hadoop);
+    cfg.duration = 5 * MS;
+    cfg.drain = 60 * MS;
+    g.bench_function("fig11_hadoop_heavy_mlcc_5ms", |b| {
+        b.iter(|| black_box(ls_run(Algo::Mlcc, cfg)).flows_completed)
+    });
+    g.bench_function("fig11_hadoop_heavy_dcqcn_5ms", |b| {
+        b.iter(|| black_box(ls_run(Algo::Dcqcn, cfg)).flows_completed)
+    });
+    g.finish();
+}
+
+fn bench_testbed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("testbed");
+    g.sample_size(10);
+    g.bench_function("fig16_dumbbell_mlcc_10ms", |b| {
+        b.iter(|| black_box(testbed_run(Algo::Mlcc, 0.3, 10 * MS, 1)).flows_completed)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_motivation,
+    bench_convergence,
+    bench_large_scale,
+    bench_testbed
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Fig. 9 — receiver-side DCI buffer occupancy under DQM.
+//!
+//! (a) total DCI queue vs time for θ ∈ {6, 18, 30 ms} with a
+//!     simultaneous 4-flow burst: smaller θ reacts aggressively (jitter),
+//!     larger θ converges slowly, 18 ms is the sweet spot;
+//! (b) per-flow PFQ occupancy at θ = 18 ms, D_t = 1 ms — each flow's
+//!     queue settles near `fair rate × D_t` (≈1.5 MB at 12.5 Gbps).
+
+use mlcc_bench::scenarios::convergence::{run, Bottleneck};
+use mlcc_bench::scenarios::{downsample, run_parallel};
+use mlcc_bench::Algo;
+use mlcc_core::MlccParams;
+use netsim::units::{to_millis, MS};
+
+fn main() {
+    let duration = 100 * MS;
+    let thetas = [6 * MS, 18 * MS, 30 * MS];
+    let results = run_parallel(
+        thetas
+            .iter()
+            .map(|&theta| {
+                move || {
+                    let params = MlccParams {
+                        theta,
+                        ..MlccParams::default()
+                    };
+                    run(Algo::Mlcc, Bottleneck::ReceiverSide, true, duration, params)
+                }
+            })
+            .collect(),
+    );
+
+    // (a) total queue series per θ.
+    println!("# Fig 9a: receiver-side DCI total queue (MB) vs time, theta sweep");
+    println!("time_ms,theta6,theta18,theta30");
+    let n = results[0].dci_queue.len();
+    for (_, i) in downsample(&(0..n).map(|i| (i as u64, i)).collect::<Vec<_>>(), 60) {
+        let t = results[0].dci_queue[i].0;
+        let cells: Vec<String> = results
+            .iter()
+            .map(|r| format!("{:.2}", r.dci_queue[i].1 as f64 / 1e6))
+            .collect();
+        println!("{:.2},{}", to_millis(t), cells.join(","));
+    }
+
+    // (b) per-flow PFQ at θ = 18 ms.
+    let r18 = &results[1];
+    println!();
+    println!("# Fig 9b: per-flow PFQ occupancy (MB) at theta=18ms, D_t=1ms");
+    println!("time_ms,flow0,flow1,flow2,flow3");
+    let n = r18.pfq_series.len();
+    for (_, i) in downsample(&(0..n).map(|i| (i as u64, i)).collect::<Vec<_>>(), 50) {
+        let (t, per_flow) = &r18.pfq_series[i];
+        let mut cells = [0.0f64; 4];
+        for &(f, b) in per_flow {
+            if (f.0 as usize) < 4 {
+                cells[f.0 as usize] = b as f64 / 1e6;
+            }
+        }
+        let s: Vec<String> = cells.iter().map(|c| format!("{c:.2}")).collect();
+        println!("{:.2},{}", to_millis(*t), s.join(","));
+    }
+
+    // Shape checks.
+    let peak = |r: &mlcc_bench::scenarios::convergence::ConvergenceResult| {
+        r.dci_queue.iter().map(|x| x.1).max().unwrap_or(0) as f64 / 1e6
+    };
+    let tail = |r: &mlcc_bench::scenarios::convergence::ConvergenceResult| {
+        let n = r.dci_queue.len();
+        let t = &r.dci_queue[n - n / 5..];
+        t.iter().map(|x| x.1).sum::<u64>() as f64 / t.len() as f64 / 1e6
+    };
+    println!();
+    for (theta, r) in thetas.iter().zip(&results) {
+        println!(
+            "# theta={}ms: peak {:.1} MB → tail {:.2} MB (jain {:.4})",
+            theta / MS,
+            peak(r),
+            tail(r),
+            r.jain_final
+        );
+        assert!(
+            tail(r) < 0.25 * peak(r),
+            "theta={}ms: DQM must pull the queue well below the burst peak",
+            theta / MS
+        );
+    }
+    // θ=18ms settles into a small standing queue near the D_t target.
+    assert!(tail(&results[1]) < 8.0, "theta=18ms tail {:.2} MB", tail(&results[1]));
+    println!("SHAPE OK: DQM drains the burst for every theta; 18 ms settles near the D_t target");
+}

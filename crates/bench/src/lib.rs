@@ -1,0 +1,16 @@
+#![allow(clippy::identity_op)] // `1 * MS` reads better than `MS` in timing code
+
+//! # mlcc-bench — the reproduction harness
+//!
+//! One binary per figure of the paper's evaluation (`fig02` … `fig16`),
+//! built on reusable scenario modules, plus Criterion benches of the
+//! simulator engine. Every binary prints a CSV series and a summary of
+//! the paper-shape checks (who wins, by roughly what factor).
+//!
+//! Run e.g. `cargo run --release -p mlcc-bench --bin fig11` and see
+//! `EXPERIMENTS.md` at the repository root for paper-vs-measured notes.
+
+pub mod algo;
+pub mod scenarios;
+
+pub use algo::Algo;

@@ -1,0 +1,56 @@
+//! Reusable experiment scenarios — one module per family of figures.
+
+pub mod convergence;
+pub mod large_scale;
+pub mod motivation;
+pub mod testbed;
+
+use netsim::units::Time;
+
+/// Run independent jobs across OS threads (each simulation is
+/// single-threaded and deterministic; figure harnesses fan runs out).
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    std::thread::scope(|s| {
+        let handles: Vec<_> = jobs.into_iter().map(|j| s.spawn(j)).collect();
+        handles.into_iter().map(|h| h.join().expect("job panicked")).collect()
+    })
+}
+
+/// Downsample a time series to at most `n` points (for compact printing).
+pub fn downsample<T: Copy>(series: &[(Time, T)], n: usize) -> Vec<(Time, T)> {
+    if series.len() <= n || n == 0 {
+        return series.to_vec();
+    }
+    let step = series.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| series[(i as f64 * step) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_parallel(jobs);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn downsample_bounds() {
+        let series: Vec<(Time, u64)> = (0..1000).map(|i| (i, i)).collect();
+        let d = downsample(&series, 100);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d[0], (0, 0));
+        let small = downsample(&series[..5], 100);
+        assert_eq!(small.len(), 5);
+    }
+}

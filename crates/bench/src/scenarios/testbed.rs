@@ -1,0 +1,75 @@
+//! Fig. 16: the testbed experiment, reproduced on a simulated dumbbell.
+//!
+//! The paper's physical testbed (2 × P4 ToR, 2 × DCI, 4 servers with
+//! 100 Gbps NICs, XDP-based MLCC) is replaced by the same dumbbell in
+//! `netsim` — see DESIGN.md's substitution table. Hadoop-mix traffic runs
+//! both within each side and across the long haul; the reported quantity
+//! is the DCQCN→MLCC average-FCT improvement.
+
+use netsim::prelude::*;
+use simstats::FctBreakdown;
+use workload::{TrafficClass, TrafficGen, TrafficMix};
+
+use crate::algo::Algo;
+
+/// Result of one dumbbell run.
+pub struct TestbedResult {
+    pub algo: Algo,
+    pub breakdown: FctBreakdown,
+    pub flows_total: usize,
+    pub flows_completed: usize,
+}
+
+/// Run the dumbbell testbed workload for one algorithm.
+pub fn run(algo: Algo, load: f64, duration: Time, seed: u64) -> TestbedResult {
+    let params = DumbbellParams::default();
+    let topo = DumbbellTopology::build(params);
+    let cfg = SimConfig {
+        stop_time: duration + 100 * MS,
+        monitor_interval: 0,
+        dci: algo.dci_features(),
+        seed,
+        ..SimConfig::default()
+    };
+    let mut gen = TrafficGen::new(seed, params.nic_link);
+    let mut requests = Vec::new();
+    // Intra-side pairs.
+    for side in 0..2 {
+        let servers = topo.servers[side].clone();
+        requests.extend(gen.generate(
+            &TrafficClass {
+                senders: servers.clone(),
+                receivers: servers,
+                load,
+                mix: TrafficMix::Hadoop,
+            },
+            0,
+            duration,
+        ));
+    }
+    // Cross traffic, both directions, at half the intra load (the links
+    // are all 100 Gbps here, so the per-sender definition is fine).
+    for (a, b) in [(0usize, 1usize), (1, 0)] {
+        requests.extend(gen.generate(
+            &TrafficClass {
+                senders: topo.servers[a].clone(),
+                receivers: topo.servers[b].clone(),
+                load: load / 2.0,
+                mix: TrafficMix::Hadoop,
+            },
+            0,
+            duration,
+        ));
+    }
+    let mut sim = Simulator::new(topo.net, cfg, algo.factory());
+    for r in &requests {
+        sim.add_flow(r.src, r.dst, r.size_bytes, r.start);
+    }
+    sim.run_until_flows_complete();
+    TestbedResult {
+        algo,
+        breakdown: FctBreakdown::new(&sim.out.fcts),
+        flows_total: requests.len(),
+        flows_completed: sim.out.fcts.len(),
+    }
+}

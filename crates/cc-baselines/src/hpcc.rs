@@ -1,0 +1,229 @@
+//! HPCC (Li et al., SIGCOMM 2019) — INT-driven window-based congestion
+//! control.
+//!
+//! Every ACK echoes the per-hop INT stack; the sender computes each hop's
+//! utilization `U = qlen/(B·T) + txRate/B`, takes the bottleneck maximum,
+//! and sets its window multiplicatively against the reference window plus
+//! a small additive term (`W = Wc/(U/η) + W_AI`). The reference window is
+//! advanced once per RTT; up to `max_stage` additive-only rounds are
+//! allowed when under-utilized.
+
+use netsim::cc::{clamp_rate, AckView, SenderCc};
+use netsim::int::HopHistory;
+use netsim::units::{bytes_in, Bandwidth, Time, SEC};
+
+/// HPCC parameters (paper defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct HpccParams {
+    /// Target utilization η.
+    pub eta: f64,
+    /// Additive-increase rounds allowed before a multiplicative pass.
+    pub max_stage: u32,
+    /// Additive increase per update, bytes. The paper uses
+    /// `W_AI = Wmax·(1-η)/N`; we default to N = 16 expected concurrent
+    /// flows and compute it from the line-rate BDP at construction.
+    pub wai_flows: u32,
+}
+
+impl Default for HpccParams {
+    fn default() -> Self {
+        HpccParams {
+            eta: 0.95,
+            max_stage: 5,
+            wai_flows: 16,
+        }
+    }
+}
+
+/// HPCC sender state for one flow.
+pub struct Hpcc {
+    p: HpccParams,
+    line_rate: f64,
+    base_rtt: Time,
+    /// Maximum window: one line-rate BDP.
+    w_max: f64,
+    /// Additive step in bytes.
+    w_ai: f64,
+    /// Reference window Wc.
+    w_c: f64,
+    /// Current window W.
+    w: f64,
+    inc_stage: u32,
+    /// Sequence number after which the next reference update may happen.
+    update_seq: u64,
+    hops: HopHistory,
+}
+
+impl Hpcc {
+    pub fn new(p: HpccParams, line_rate_bps: Bandwidth, base_rtt: Time) -> Self {
+        let w_max = bytes_in(base_rtt, line_rate_bps) as f64;
+        let w_ai = (w_max * (1.0 - p.eta) / p.wai_flows as f64).max(1.0);
+        Hpcc {
+            p,
+            line_rate: line_rate_bps as f64,
+            base_rtt,
+            w_max,
+            w_ai,
+            w_c: w_max,
+            w: w_max,
+            inc_stage: 0,
+            update_seq: 0,
+            hops: HopHistory::new(),
+        }
+    }
+
+    #[inline]
+    pub fn window(&self) -> f64 {
+        self.w
+    }
+}
+
+impl SenderCc for Hpcc {
+    fn on_ack(&mut self, ack: &AckView<'_>) {
+        let Some(u) = self
+            .hops
+            .max_utilization(ack.int, self.base_rtt, |_| true)
+        else {
+            return;
+        };
+        if u >= self.p.eta || self.inc_stage >= self.p.max_stage {
+            self.w = self.w_c / (u / self.p.eta) + self.w_ai;
+        } else {
+            self.w = self.w_c + self.w_ai;
+        }
+        self.w = self.w.clamp(self.w_ai.max(1.0), self.w_max);
+        // Reference update once per RTT (window's worth of bytes acked).
+        if ack.seq >= self.update_seq {
+            self.w_c = self.w;
+            self.inc_stage = if u >= self.p.eta { 0 } else { self.inc_stage + 1 };
+            self.update_seq = ack.seq + self.w as u64;
+        }
+    }
+
+    fn rate_bps(&self) -> f64 {
+        // Pace at W/T alongside the window cap.
+        let t = self.base_rtt.max(1) as f64 / SEC as f64;
+        clamp_rate(self.w * 8.0 / t, self.line_rate as u64)
+    }
+
+    fn window_bytes(&self) -> Option<u64> {
+        Some(self.w as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "hpcc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::int::{IntHop, IntStack};
+    use netsim::units::{GBPS, US};
+
+    const LINE: u64 = 25 * GBPS;
+    const BASE: Time = 10 * US;
+
+    fn hop(ts: Time, qlen: u64, tx: u64) -> IntHop {
+        IntHop {
+            hop_id: 1,
+            ts,
+            qlen_bytes: qlen,
+            tx_bytes: tx,
+            link_bps: LINE,
+            is_dci: false,
+        }
+    }
+
+    fn feed(h: &mut Hpcc, seq: u64, hopinfo: IntHop) {
+        let mut int = IntStack::new();
+        int.push(hopinfo);
+        h.on_ack(&AckView {
+            seq,
+            ecn_echo: false,
+            rtt_sample: BASE,
+            int: &int,
+            r_dqm_bps: None,
+            now: hopinfo.ts,
+        });
+    }
+
+    #[test]
+    fn starts_at_bdp_window() {
+        let h = Hpcc::new(HpccParams::default(), LINE, BASE);
+        let bdp = bytes_in(BASE, LINE) as f64;
+        assert_eq!(h.window(), bdp);
+        assert!(h.window_bytes().is_some());
+    }
+
+    #[test]
+    fn overload_shrinks_window() {
+        let mut h = Hpcc::new(HpccParams::default(), LINE, BASE);
+        let w0 = h.window();
+        // Hop at 2× line utilization: big standing queue + full rate.
+        let bdp = bytes_in(BASE, LINE);
+        feed(&mut h, 1000, hop(0, bdp, 0));
+        feed(&mut h, 2000, hop(BASE, bdp, bytes_in(BASE, LINE)));
+        assert!(h.window() < w0 * 0.6, "w {} vs {}", h.window(), w0);
+    }
+
+    #[test]
+    fn underload_grows_additively() {
+        let mut h = Hpcc::new(HpccParams::default(), LINE, BASE);
+        h.w_c = h.w_max / 4.0;
+        h.w = h.w_c;
+        h.update_seq = 0;
+        // 10% utilization, no queue.
+        let tenth = bytes_in(BASE, LINE) / 10;
+        feed(&mut h, 1, hop(0, 0, 0));
+        let w1 = h.window();
+        feed(&mut h, 2, hop(BASE, 0, tenth));
+        assert!(h.window() > 0.0);
+        // Additive growth: exactly +W_AI from the reference.
+        assert!((h.window() - (w1.max(h.w_c) + 0.0)).abs() <= h.w_max);
+        let w2 = h.window();
+        feed(&mut h, w2 as u64 * 2, hop(2 * BASE, 0, 2 * tenth));
+        assert!(h.window() >= w2, "window must not shrink when idle");
+    }
+
+    #[test]
+    fn utilization_one_is_stable() {
+        // At exactly η utilization the window stays near the reference.
+        let mut h = Hpcc::new(HpccParams::default(), LINE, BASE);
+        let per_rtt = (bytes_in(BASE, LINE) as f64 * h.p.eta) as u64;
+        let mut tx = 0;
+        feed(&mut h, 1, hop(0, 0, tx));
+        for i in 1..20u64 {
+            tx += per_rtt;
+            feed(&mut h, i * per_rtt, hop(i * BASE, 0, tx));
+        }
+        let w = h.window();
+        let wmax = h.w_max;
+        assert!(w > 0.8 * wmax && w <= wmax, "w {w} wmax {wmax}");
+    }
+
+    #[test]
+    fn window_never_exceeds_bdp_or_underflows() {
+        let mut h = Hpcc::new(HpccParams::default(), LINE, BASE);
+        let bdp = bytes_in(BASE, LINE);
+        // Wild inputs.
+        feed(&mut h, 1, hop(0, 0, 0));
+        feed(&mut h, 2, hop(1, 100 * bdp, 0)); // zero-dt pair is skipped
+        for i in 2..50u64 {
+            feed(&mut h, i * 100, hop(i * BASE, 50 * bdp, i * bdp));
+            assert!(h.window() <= bdp as f64);
+            assert!(h.window() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn rate_tracks_window() {
+        let mut h = Hpcc::new(HpccParams::default(), LINE, BASE);
+        let r0 = h.rate_bps();
+        assert!((r0 - LINE as f64).abs() / (LINE as f64) < 0.01);
+        let bdp = bytes_in(BASE, LINE);
+        feed(&mut h, 1000, hop(0, bdp, 0));
+        feed(&mut h, 2000, hop(BASE, bdp, bytes_in(BASE, LINE)));
+        assert!(h.rate_bps() < r0);
+    }
+}

@@ -1,0 +1,173 @@
+//! The MLCC sender.
+//!
+//! Cross-DC flows combine two rate signals (Eq. 10):
+//! `R_MLCC = min(R_NS, R̄_DQM)` — the near-source rate computed from
+//! Switch-INT feedback (sender-side micro loop) and the smoothed DQM rate
+//! carried back in ACKs (long-term end-to-end loop).
+//!
+//! Intra-DC flows have no DCI on their path; they run the same INT rate
+//! controller end-to-end over the ACK-echoed stack, which is already a
+//! short loop.
+
+use netsim::cc::{AckView, SenderCc};
+use netsim::int::IntStack;
+use netsim::units::Time;
+
+use crate::params::MlccParams;
+use crate::rate_ctl::{HopFilter, IntRateController};
+
+/// MLCC sender state for one flow.
+pub struct MlccSender {
+    cross_dc: bool,
+    /// Near-source controller (cross-DC: Switch-INT; intra-DC: ACK INT).
+    ns: IntRateController,
+    /// Latest R̄_DQM from ACKs; line rate until the first ACK.
+    r_dqm_bar: f64,
+    /// Diagnostics.
+    pub switch_int_seen: u64,
+}
+
+impl MlccSender {
+    pub fn new(p: &MlccParams, line_rate_bps: u64, loop_rtt: Time, cross_dc: bool) -> Self {
+        MlccSender {
+            cross_dc,
+            ns: IntRateController::new(p, line_rate_bps, loop_rtt, HopFilter::All),
+            r_dqm_bar: line_rate_bps as f64,
+            switch_int_seen: 0,
+        }
+    }
+
+    /// The near-source component R_NS.
+    #[inline]
+    pub fn r_ns_bps(&self) -> f64 {
+        self.ns.rate_bps()
+    }
+
+    /// The end-to-end component R̄_DQM.
+    #[inline]
+    pub fn r_dqm_bar_bps(&self) -> f64 {
+        self.r_dqm_bar
+    }
+}
+
+impl SenderCc for MlccSender {
+    fn on_ack(&mut self, ack: &AckView<'_>) {
+        if self.cross_dc {
+            if let Some(r) = ack.r_dqm_bps {
+                self.r_dqm_bar = r as f64;
+            }
+        } else if !ack.int.is_empty() {
+            self.ns.on_int(ack.int, ack.now);
+        }
+    }
+
+    fn on_switch_int(&mut self, int: &IntStack, now: Time) {
+        self.switch_int_seen += 1;
+        self.ns.on_int(int, now);
+    }
+
+    fn rate_bps(&self) -> f64 {
+        if self.cross_dc {
+            // Eq. 10.
+            self.ns.rate_bps().min(self.r_dqm_bar)
+        } else {
+            self.ns.rate_bps()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mlcc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::int::IntHop;
+    use netsim::units::{bytes_in, GBPS, MS, US};
+
+    const LINE: u64 = 25 * GBPS;
+
+    fn stack(ts: Time, qlen: u64, tx: u64) -> IntStack {
+        let mut s = IntStack::new();
+        s.push(IntHop {
+            hop_id: 3,
+            ts,
+            qlen_bytes: qlen,
+            tx_bytes: tx,
+            link_bps: LINE,
+            is_dci: false,
+        });
+        s
+    }
+
+    fn ack(seq: u64, r_dqm: Option<u64>, int: &IntStack, now: Time) -> AckView<'_> {
+        AckView {
+            seq,
+            ecn_echo: false,
+            rtt_sample: 10 * US,
+            int,
+            r_dqm_bps: r_dqm,
+            now,
+        }
+    }
+
+    #[test]
+    fn cross_flow_takes_min_of_loops() {
+        let p = MlccParams::default();
+        let mut s = MlccSender::new(&p, LINE, 20 * US, true);
+        assert_eq!(s.rate_bps(), LINE as f64);
+        // DQM derates to 5 Gbps via ACK.
+        let empty = IntStack::new();
+        s.on_ack(&ack(1000, Some(5_000_000_000), &empty, 1 * MS));
+        assert_eq!(s.rate_bps(), 5e9);
+        // Near-source congestion pushes R_NS below R̄_DQM (sustained
+        // queue across samples; the per-round MD clamp compounds).
+        let t = 20 * US;
+        let q = 10 * bytes_in(t, LINE);
+        s.on_switch_int(&stack(0, q, 0), 0);
+        for i in 1..=10u64 {
+            s.on_switch_int(&stack(i * t, q, i * bytes_in(t, LINE)), i * t);
+        }
+        assert!(s.r_ns_bps() < 0.6 * LINE as f64, "{}", s.r_ns_bps());
+        assert_eq!(s.rate_bps(), s.r_ns_bps().min(s.r_dqm_bar_bps()));
+        assert_eq!(s.switch_int_seen, 11);
+    }
+
+    #[test]
+    fn cross_flow_ignores_ack_int() {
+        // Cross-DC flows get their near-source signal from Switch-INT;
+        // the receiver-side INT echoed in ACKs must not drive R_NS.
+        let p = MlccParams::default();
+        let mut s = MlccSender::new(&p, LINE, 20 * US, true);
+        let t = 20 * US;
+        let congested = stack(t, 100 * bytes_in(t, LINE), bytes_in(t, LINE));
+        s.on_ack(&ack(1, None, &stack(0, 0, 0), 0));
+        s.on_ack(&ack(2, None, &congested, t));
+        assert_eq!(s.r_ns_bps(), LINE as f64);
+    }
+
+    #[test]
+    fn intra_flow_uses_ack_int_end_to_end() {
+        let p = MlccParams::default();
+        let mut s = MlccSender::new(&p, LINE, 8 * US, false);
+        let t = 8 * US;
+        let q = 10 * bytes_in(t, LINE);
+        s.on_ack(&ack(1, None, &stack(0, q, 0), 0));
+        for i in 1..=10u64 {
+            s.on_ack(&ack(1 + i, None, &stack(i * t, q, i * bytes_in(t, LINE)), i * t));
+        }
+        assert!(s.rate_bps() < 0.6 * LINE as f64, "{}", s.rate_bps());
+    }
+
+    #[test]
+    fn dqm_recovery_restores_rate() {
+        let p = MlccParams::default();
+        let mut s = MlccSender::new(&p, LINE, 20 * US, true);
+        let empty = IntStack::new();
+        s.on_ack(&ack(1, Some(2_000_000_000), &empty, 0));
+        assert_eq!(s.rate_bps(), 2e9);
+        s.on_ack(&ack(2, Some(20_000_000_000), &empty, 1 * MS));
+        assert_eq!(s.rate_bps(), 20e9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Shared-buffer admission for a switch.
+//!
+//! All egress queues of a switch draw from one shared byte pool (22 MB on
+//! the paper's DC switches, 128 MB on DCI switches). Data packets that
+//! would overflow the pool are dropped and counted; control packets are
+//! always admitted (they are tiny and ride a protected class, as in real
+//! deployments).
+
+/// Shared packet buffer of one switch.
+#[derive(Clone, Debug)]
+pub struct SharedBuffer {
+    capacity: u64,
+    used: u64,
+    /// Data bytes dropped due to overflow.
+    pub dropped_bytes: u64,
+    /// Data packets dropped due to overflow.
+    pub dropped_packets: u64,
+    /// High-water mark of occupancy.
+    pub peak_used: u64,
+}
+
+impl SharedBuffer {
+    pub fn new(capacity: u64) -> Self {
+        SharedBuffer {
+            capacity,
+            used: 0,
+            dropped_bytes: 0,
+            dropped_packets: 0,
+            peak_used: 0,
+        }
+    }
+
+    /// Try to admit `bytes`. Returns false (and counts a drop) when the
+    /// pool would overflow and the packet is droppable.
+    pub fn admit(&mut self, bytes: u64, droppable: bool) -> bool {
+        if droppable && self.used + bytes > self.capacity {
+            self.dropped_bytes += bytes;
+            self.dropped_packets += 1;
+            return false;
+        }
+        self.used += bytes;
+        self.peak_used = self.peak_used.max(self.used);
+        true
+    }
+
+    /// Release `bytes` back to the pool when a packet departs.
+    pub fn release(&mut self, bytes: u64) {
+        debug_assert!(self.used >= bytes, "buffer release underflow");
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    #[inline]
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_full() {
+        let mut b = SharedBuffer::new(1000);
+        assert!(b.admit(600, true));
+        assert!(b.admit(400, true));
+        assert_eq!(b.used(), 1000);
+        assert_eq!(b.free(), 0);
+        assert!(!b.admit(1, true));
+        assert_eq!(b.dropped_packets, 1);
+        assert_eq!(b.dropped_bytes, 1);
+    }
+
+    #[test]
+    fn control_always_admitted() {
+        let mut b = SharedBuffer::new(100);
+        assert!(b.admit(100, true));
+        assert!(b.admit(64, false), "non-droppable always admitted");
+        assert_eq!(b.used(), 164);
+        assert_eq!(b.dropped_packets, 0);
+    }
+
+    #[test]
+    fn release_restores_space() {
+        let mut b = SharedBuffer::new(1000);
+        b.admit(1000, true);
+        assert!(!b.admit(500, true));
+        b.release(600);
+        assert!(b.admit(500, true));
+        assert_eq!(b.used(), 900);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut b = SharedBuffer::new(1000);
+        b.admit(700, true);
+        b.release(700);
+        b.admit(300, true);
+        assert_eq!(b.peak_used, 700);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Occupancy never exceeds capacity for droppable traffic and
+        /// never underflows, no matter the operation sequence.
+        #[test]
+        fn occupancy_bounded(ops in proptest::collection::vec((any::<bool>(), 1u64..2_000), 1..200)) {
+            let mut b = SharedBuffer::new(10_000);
+            let mut admitted: Vec<u64> = Vec::new();
+            for (is_admit, n) in ops {
+                if is_admit {
+                    if b.admit(n, true) {
+                        admitted.push(n);
+                    }
+                } else if let Some(n) = admitted.pop() {
+                    b.release(n);
+                }
+                prop_assert!(b.used() <= b.capacity());
+            }
+        }
+    }
+}

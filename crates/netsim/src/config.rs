@@ -1,0 +1,93 @@
+//! Run-level configuration with the paper's defaults.
+
+use crate::units::{Bandwidth, Time, GBPS, MS, US};
+
+/// DCI-switch feature switches: the MLCC data-plane mechanisms. Baseline
+/// algorithms run with everything off (the DCI behaves as a plain
+/// deep-buffer switch); MLCC runs with everything on.
+#[derive(Clone, Copy, Debug)]
+pub struct DciFeatures {
+    /// Receiver-side per-flow queueing with credit-controlled dequeue.
+    pub pfq_enabled: bool,
+    /// Sender-side Switch-INT near-source feedback.
+    pub near_source_enabled: bool,
+    /// Minimum per-flow interval between Switch-INT feedback packets.
+    pub switch_int_min_interval: Time,
+    /// Initial dequeue rate for a newly created PFQ (§3.2.2: "the
+    /// receiver-side DCI-switch sends the flow into the receiver-side
+    /// datacenter using the initial rate").
+    pub pfq_init_rate: Bandwidth,
+}
+
+impl DciFeatures {
+    /// All MLCC mechanisms on.
+    pub fn mlcc() -> Self {
+        DciFeatures {
+            pfq_enabled: true,
+            near_source_enabled: true,
+            switch_int_min_interval: 4 * US,
+            pfq_init_rate: 25 * GBPS,
+        }
+    }
+
+    /// Plain DCI switch (baseline algorithms).
+    pub fn baseline() -> Self {
+        DciFeatures {
+            pfq_enabled: false,
+            near_source_enabled: false,
+            switch_int_min_interval: 4 * US,
+            pfq_init_rate: 25 * GBPS,
+        }
+    }
+}
+
+/// Top-level simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Payload bytes per full-size data packet (wire adds the header
+    /// budget).
+    pub mtu_payload: u32,
+    /// RNG seed (ECN marking decisions and anything stochastic).
+    pub seed: u64,
+    /// Hard stop time.
+    pub stop_time: Time,
+    /// DCI feature set.
+    pub dci: DciFeatures,
+    /// Monitor sampling interval (0 disables sampling).
+    pub monitor_interval: Time,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mtu_payload: 1000,
+            seed: 1,
+            stop_time: 100 * MS,
+            dci: DciFeatures::baseline(),
+            monitor_interval: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Wire size of a full data packet.
+    pub fn mtu_wire(&self) -> u32 {
+        self.mtu_payload + crate::packet::DATA_HEADER_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.mtu_payload, 1000);
+        assert_eq!(c.mtu_wire(), 1048);
+        assert!(!c.dci.pfq_enabled);
+        let m = DciFeatures::mlcc();
+        assert!(m.pfq_enabled && m.near_source_enabled);
+        assert_eq!(m.pfq_init_rate, 25 * GBPS);
+    }
+}

@@ -1,0 +1,145 @@
+//! RED/ECN marking.
+//!
+//! Switches mark the ECN congestion-experienced bit probabilistically as a
+//! function of the instantaneous egress queue length, exactly like the
+//! RED-with-instantaneous-queue configuration ns-3's RDMA models use:
+//! below `kmin` never mark, above `kmax` always mark, linear ramp to
+//! `pmax` in between.
+
+use crate::units::{Bandwidth, GBPS};
+
+/// RED marking thresholds in bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EcnConfig {
+    pub kmin_bytes: u64,
+    pub kmax_bytes: u64,
+    pub pmax: f64,
+    pub enabled: bool,
+}
+
+impl EcnConfig {
+    /// Standard datacenter-switch marking profile for a given egress line
+    /// rate, following the HPCC paper's DCQCN configuration (100 KB / 400
+    /// KB / 0.2 at 25 Gbps), scaled linearly with rate.
+    pub fn dc_switch(rate: Bandwidth) -> Self {
+        let scale = rate as f64 / (25.0 * GBPS as f64);
+        EcnConfig {
+            kmin_bytes: (100_000.0 * scale) as u64,
+            kmax_bytes: (400_000.0 * scale) as u64,
+            pmax: 0.2,
+            enabled: true,
+        }
+    }
+
+    /// DCI-switch profile: a deep-buffer switch marks far later — the
+    /// paper's motivation Experiment 3 relies on multi-megabyte DCI queues
+    /// building before any signal fires.
+    pub fn dci_switch() -> Self {
+        EcnConfig {
+            kmin_bytes: 1_000_000,
+            kmax_bytes: 8_000_000,
+            pmax: 0.2,
+            enabled: true,
+        }
+    }
+
+    /// Marking disabled.
+    pub fn disabled() -> Self {
+        EcnConfig {
+            kmin_bytes: u64::MAX,
+            kmax_bytes: u64::MAX,
+            pmax: 0.0,
+            enabled: false,
+        }
+    }
+
+    /// Marking probability at queue length `qlen` bytes.
+    pub fn mark_probability(&self, qlen: u64) -> f64 {
+        if !self.enabled || qlen < self.kmin_bytes {
+            0.0
+        } else if qlen >= self.kmax_bytes {
+            1.0
+        } else {
+            let span = (self.kmax_bytes - self.kmin_bytes) as f64;
+            self.pmax * (qlen - self.kmin_bytes) as f64 / span
+        }
+    }
+
+    /// Decide whether to mark, consuming one uniform sample in `[0,1)`.
+    #[inline]
+    pub fn should_mark(&self, qlen: u64, uniform: f64) -> bool {
+        let p = self.mark_probability(qlen);
+        p > 0.0 && uniform < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_kmin_never_marks() {
+        let c = EcnConfig::dc_switch(25 * GBPS);
+        assert_eq!(c.mark_probability(0), 0.0);
+        assert_eq!(c.mark_probability(c.kmin_bytes - 1), 0.0);
+        assert!(!c.should_mark(c.kmin_bytes - 1, 0.0));
+    }
+
+    #[test]
+    fn above_kmax_always_marks() {
+        let c = EcnConfig::dc_switch(25 * GBPS);
+        assert_eq!(c.mark_probability(c.kmax_bytes), 1.0);
+        assert!(c.should_mark(c.kmax_bytes, 0.999_999));
+    }
+
+    #[test]
+    fn linear_ramp_midpoint() {
+        let c = EcnConfig::dc_switch(25 * GBPS);
+        let mid = (c.kmin_bytes + c.kmax_bytes) / 2;
+        let p = c.mark_probability(mid);
+        assert!((p - c.pmax / 2.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn scales_with_rate() {
+        let c25 = EcnConfig::dc_switch(25 * GBPS);
+        let c100 = EcnConfig::dc_switch(100 * GBPS);
+        assert_eq!(c100.kmin_bytes, 4 * c25.kmin_bytes);
+        assert_eq!(c100.kmax_bytes, 4 * c25.kmax_bytes);
+    }
+
+    #[test]
+    fn disabled_never_marks() {
+        let c = EcnConfig::disabled();
+        assert!(!c.should_mark(u64::MAX - 1, 0.0));
+        assert_eq!(c.mark_probability(1 << 40), 0.0);
+    }
+
+    #[test]
+    fn dci_thresholds_are_megabytes() {
+        let c = EcnConfig::dci_switch();
+        assert!(c.kmin_bytes >= 1_000_000);
+        assert!(c.kmax_bytes > c.kmin_bytes);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Marking probability is monotone in queue length and bounded by
+        /// [0, 1].
+        #[test]
+        fn probability_monotone(q1 in 0u64..10_000_000, q2 in 0u64..10_000_000) {
+            let c = EcnConfig::dc_switch(25 * GBPS);
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let p_lo = c.mark_probability(lo);
+            let p_hi = c.mark_probability(hi);
+            prop_assert!(p_lo <= p_hi + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&p_lo));
+            prop_assert!((0.0..=1.0).contains(&p_hi));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The discrete-event core: event kinds and a deterministic priority queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::packet::Packet;
+use crate::types::{FlowId, LinkId, NodeId};
+use crate::units::Time;
+
+/// Everything that can happen in the simulation.
+// Packets ride by value (no per-packet heap allocation in the hot
+// loop), so the Arrival variant is large by design.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A flow's first byte becomes available at its sender.
+    FlowStart(FlowId),
+    /// The last bit of a packet arrives at the far end of `link`.
+    Arrival { link: LinkId, packet: Packet },
+    /// `link` finishes serializing its current packet and may start the
+    /// next one.
+    TxComplete { link: LinkId },
+    /// A host's pacing timer: some flow may now be allowed to send.
+    HostWake { node: NodeId },
+    /// A DCI per-flow-queue pacing timer for the given egress link.
+    PfqWake { link: LinkId },
+    /// A per-flow timer owned by a congestion-control module at `node`.
+    CcTimer { node: NodeId, flow: FlowId },
+    /// A retransmission timeout check for `flow` at its sender.
+    RtoCheck { node: NodeId, flow: FlowId },
+    /// Periodic measurement sampling.
+    MonitorTick,
+    /// A PFC pause/resume frame takes effect at the receiving end of
+    /// `link` (pause frames bypass queues; only propagation delay applies).
+    PfcUpdate { link: LinkId, paused: bool },
+}
+
+/// A scheduled event. Ordering: time, then insertion sequence — two events
+/// at the same instant always fire in the order they were scheduled, which
+/// makes runs bit-for-bit reproducible.
+#[derive(Clone, Debug)]
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    /// Total events ever scheduled (statistics).
+    pub scheduled_total: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: Time, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick() -> Event {
+        Event::MonitorTick
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, tick());
+        q.schedule(10, tick());
+        q.schedule(20, tick());
+        assert_eq!(q.pop().unwrap().0, 10);
+        assert_eq!(q.pop().unwrap().0, 20);
+        assert_eq!(q.pop().unwrap().0, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, Event::FlowStart(FlowId(0)));
+        q.schedule(5, Event::FlowStart(FlowId(1)));
+        q.schedule(5, Event::FlowStart(FlowId(2)));
+        for expect in 0..3u32 {
+            match q.pop().unwrap().1 {
+                Event::FlowStart(f) => assert_eq!(f, FlowId(expect)),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(42, tick());
+        q.schedule(7, tick());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.pop().unwrap().0, 7);
+        assert_eq!(q.peek_time(), Some(42));
+    }
+
+    #[test]
+    fn counts_scheduled() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(i, tick());
+        }
+        assert_eq!(q.scheduled_total, 10);
+        assert_eq!(q.len(), 10);
+        q.pop();
+        assert_eq!(q.scheduled_total, 10, "popping does not change the total");
+        assert_eq!(q.len(), 9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever order events are scheduled in, they pop in
+        /// non-decreasing time order, and same-time events pop in
+        /// scheduling order.
+        #[test]
+        fn total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, Event::FlowStart(FlowId(i as u32)));
+            }
+            let mut last: Option<(Time, u32)> = None;
+            while let Some((t, ev)) = q.pop() {
+                let id = match ev { Event::FlowStart(f) => f.0, _ => unreachable!() };
+                if let Some((lt, lid)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(id > lid, "same-time events must pop in insertion order");
+                    }
+                }
+                last = Some((t, id));
+            }
+        }
+    }
+}

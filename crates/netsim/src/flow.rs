@@ -1,0 +1,107 @@
+//! Flow specifications and lifecycle records.
+
+use crate::types::{FlowId, NodeId};
+use crate::units::Time;
+
+/// A flow to simulate: `size_bytes` from `src` to `dst`, first byte
+/// available at `start`.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    pub id: FlowId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub size_bytes: u64,
+    pub start: Time,
+}
+
+/// Static path facts the simulator resolves for each flow at start time and
+/// hands to the congestion-control modules.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowPath {
+    /// Base (zero-queue) round-trip time of the full path, including
+    /// per-hop MTU serialization: the control-loop delay an end-to-end
+    /// algorithm experiences.
+    pub base_rtt: Time,
+    /// Base RTT of the sender-side intra-DC loop (host ↔ sender-side DCI).
+    /// For intra-DC flows this equals `base_rtt`.
+    pub src_dc_rtt: Time,
+    /// Base RTT of the receiver-side intra-DC loop (receiver-side DCI ↔
+    /// destination host). For intra-DC flows this equals `base_rtt`.
+    pub dst_dc_rtt: Time,
+    /// True when the flow crosses the DCI long-haul link.
+    pub cross_dc: bool,
+    /// Line rate of the sender's NIC.
+    pub line_rate_bps: u64,
+    /// Minimum capacity along the path (the structural bottleneck).
+    pub bottleneck_bps: u64,
+    /// Number of switch hops.
+    pub hops: u32,
+}
+
+/// Completion record for one flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FctRecord {
+    pub flow: FlowId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub size_bytes: u64,
+    pub start: Time,
+    /// Time the receiver held the full flow.
+    pub finish: Time,
+    pub cross_dc: bool,
+}
+
+impl FctRecord {
+    /// Flow completion time.
+    #[inline]
+    pub fn fct(&self) -> Time {
+        self.finish.saturating_sub(self.start)
+    }
+
+    /// FCT normalized by the ideal (line-rate, empty-network) completion
+    /// time — the "slowdown" metric.
+    pub fn slowdown(&self, ideal: Time) -> f64 {
+        if ideal == 0 {
+            return 1.0;
+        }
+        self.fct() as f64 / ideal as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{MS, US};
+
+    #[test]
+    fn fct_and_slowdown() {
+        let r = FctRecord {
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 1_000_000,
+            start: 1 * MS,
+            finish: 3 * MS,
+            cross_dc: true,
+        };
+        assert_eq!(r.fct(), 2 * MS);
+        assert!((r.slowdown(500 * US) - 4.0).abs() < 1e-12);
+        assert_eq!(r.slowdown(0), 1.0);
+    }
+
+    #[test]
+    fn fct_saturates() {
+        // Defensive: a record with finish < start (should never happen)
+        // reports zero rather than wrapping.
+        let r = FctRecord {
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 1,
+            start: 10,
+            finish: 5,
+            cross_dc: false,
+        };
+        assert_eq!(r.fct(), 0);
+    }
+}

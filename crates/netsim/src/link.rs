@@ -1,0 +1,133 @@
+//! Unidirectional links.
+//!
+//! A link owns the **egress queue at its sending end**: the per-priority
+//! FIFOs (and, on MLCC DCI egresses, the per-flow queue set), the busy
+//! state of the serializer, and the cumulative byte counter that INT
+//! reports. Pausing a link via PFC therefore pauses exactly the upstream
+//! egress that feeds the congested ingress.
+
+use crate::ecn::EcnConfig;
+use crate::pfq::PfqSet;
+use crate::queue::PrioQueues;
+use crate::types::{LinkId, NodeId};
+use crate::units::{tx_time, Bandwidth, Time};
+
+/// Options applied when creating a link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkOpts {
+    /// Push INT hop records on data packets at dequeue.
+    pub int_enabled: bool,
+    /// Mark this link's INT records as DCI records.
+    pub int_is_dci: bool,
+    /// This is the long-haul DCI↔DCI link.
+    pub long_haul: bool,
+    /// ECN marking profile for this egress. `None` derives the standard
+    /// profile from the link rate (ECN is configured per port on real
+    /// switches, so thresholds must scale with the egress rate, not the
+    /// switch).
+    pub ecn: Option<EcnConfig>,
+}
+
+impl Default for LinkOpts {
+    fn default() -> Self {
+        LinkOpts {
+            int_enabled: true,
+            int_is_dci: false,
+            long_haul: false,
+            ecn: None,
+        }
+    }
+}
+
+/// A unidirectional link plus the egress queue feeding it.
+pub struct Link {
+    pub id: LinkId,
+    /// Sending node (owner of the egress queue).
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    pub bandwidth: Bandwidth,
+    pub delay: Time,
+    /// The paired reverse-direction link.
+    pub reverse: LinkId,
+    pub opts: LinkOpts,
+    /// ECN marking profile of this egress.
+    pub ecn: EcnConfig,
+    /// Priority FIFOs at the egress.
+    pub queues: PrioQueues,
+    /// MLCC per-flow queue set (receiver-side DCI egresses only).
+    pub pfq: Option<PfqSet>,
+    /// Serializer busy flag.
+    pub busy: bool,
+    /// Cumulative bytes ever serialized (INT's txBytes).
+    pub tx_bytes: u64,
+    /// Dedup for scheduled PFQ pacing wakeups.
+    pub pfq_wake_at: Option<Time>,
+    /// INT hop identifier (unique per link).
+    pub hop_id: u32,
+}
+
+impl Link {
+    /// Serialization time of `bytes` on this link.
+    #[inline]
+    pub fn ser_time(&self, bytes: u64) -> Time {
+        tx_time(bytes, self.bandwidth)
+    }
+
+    /// Total bytes queued at this egress (FIFOs + PFQ).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queues.total_bytes() + self.pfq.as_ref().map_or(0, |p| p.total_bytes())
+    }
+
+    /// Data-class bytes visible to ECN marking (FIFO data + PFQ).
+    pub fn data_queued_bytes(&self) -> u64 {
+        self.queues.bytes(crate::types::Priority::Data)
+            + self.pfq.as_ref().map_or(0, |p| p.total_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use crate::types::FlowId;
+    use crate::units::GBPS;
+
+    fn mk_link() -> Link {
+        Link {
+            id: LinkId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            bandwidth: 100 * GBPS,
+            delay: 5_000_000,
+            reverse: LinkId(1),
+            opts: LinkOpts::default(),
+            ecn: EcnConfig::dc_switch(100 * GBPS),
+            queues: PrioQueues::new(),
+            pfq: None,
+            busy: false,
+            tx_bytes: 0,
+            pfq_wake_at: None,
+            hop_id: 0,
+        }
+    }
+
+    #[test]
+    fn ser_time_uses_bandwidth() {
+        let l = mk_link();
+        assert_eq!(l.ser_time(1048), tx_time(1048, 100 * GBPS));
+    }
+
+    #[test]
+    fn queued_bytes_spans_fifo_and_pfq() {
+        let mut l = mk_link();
+        l.queues
+            .enqueue(Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0));
+        assert_eq!(l.queued_bytes(), 1048);
+        let mut pfq = PfqSet::new(1 * GBPS, 1048);
+        pfq.enqueue(Packet::data(2, FlowId(1), NodeId(0), NodeId(1), 0, 1000, 0), 0);
+        l.pfq = Some(pfq);
+        assert_eq!(l.queued_bytes(), 2 * 1048);
+        assert_eq!(l.data_queued_bytes(), 2 * 1048);
+    }
+}

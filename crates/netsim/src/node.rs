@@ -1,0 +1,44 @@
+//! Node sum type.
+
+use crate::host::Host;
+use crate::switch::Switch;
+
+/// A node in the fabric: either a server or a switch.
+pub enum Node {
+    Host(Host),
+    Switch(Switch),
+}
+
+impl Node {
+    pub fn as_host(&self) -> Option<&Host> {
+        match self {
+            Node::Host(h) => Some(h),
+            Node::Switch(_) => None,
+        }
+    }
+
+    pub fn as_host_mut(&mut self) -> Option<&mut Host> {
+        match self {
+            Node::Host(h) => Some(h),
+            Node::Switch(_) => None,
+        }
+    }
+
+    pub fn as_switch(&self) -> Option<&Switch> {
+        match self {
+            Node::Switch(s) => Some(s),
+            Node::Host(_) => None,
+        }
+    }
+
+    pub fn as_switch_mut(&mut self) -> Option<&mut Switch> {
+        match self {
+            Node::Switch(s) => Some(s),
+            Node::Host(_) => None,
+        }
+    }
+
+    pub fn is_host(&self) -> bool {
+        matches!(self, Node::Host(_))
+    }
+}

@@ -1,0 +1,264 @@
+//! Priority Flow Control (IEEE 802.1Qbb).
+//!
+//! Switches account queued data bytes against the **ingress** port each
+//! packet arrived on. When an ingress crosses its Xoff threshold the
+//! switch sends a PAUSE frame upstream for the data priority; when it
+//! drains below Xon it sends a RESUME. Pause frames bypass queues and take
+//! effect after one propagation delay.
+//!
+//! Thresholds are either static per port or "dynamic threshold" (DT), the
+//! scheme shipped in shared-buffer ASICs: an ingress may hold at most
+//! `alpha × (free buffer)` bytes.
+
+use crate::units::Time;
+
+/// How the Xoff threshold is computed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PfcThreshold {
+    /// Pause when an ingress holds more than this many bytes.
+    Static { xoff_bytes: u64 },
+    /// Dynamic threshold: pause when `ingress_bytes > alpha * free_bytes`.
+    Dynamic { alpha: f64 },
+}
+
+/// PFC configuration for one switch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PfcConfig {
+    pub enabled: bool,
+    pub threshold: PfcThreshold,
+    /// Hysteresis gap: resume once the ingress drops below
+    /// `threshold - xon_gap_bytes`.
+    pub xon_gap_bytes: u64,
+}
+
+impl PfcConfig {
+    /// Typical shallow-buffer DC switch configuration: dynamic threshold
+    /// with α = 1/8 (the classic Broadcom shared-buffer setting) and a
+    /// 2-MTU hysteresis gap.
+    pub fn dc_switch() -> Self {
+        PfcConfig {
+            enabled: true,
+            threshold: PfcThreshold::Dynamic { alpha: 0.125 },
+            xon_gap_bytes: 2 * 1048,
+        }
+    }
+
+    /// Static-threshold variant used by targeted unit tests.
+    pub fn with_static(xoff_bytes: u64) -> Self {
+        PfcConfig {
+            enabled: true,
+            threshold: PfcThreshold::Static { xoff_bytes },
+            xon_gap_bytes: 2 * 1048,
+        }
+    }
+
+    pub fn disabled() -> Self {
+        PfcConfig {
+            enabled: false,
+            threshold: PfcThreshold::Static { xoff_bytes: u64::MAX },
+            xon_gap_bytes: 0,
+        }
+    }
+
+    /// Current Xoff threshold given total buffer occupancy.
+    pub fn xoff_threshold(&self, buffer_capacity: u64, buffer_used: u64) -> u64 {
+        match self.threshold {
+            PfcThreshold::Static { xoff_bytes } => xoff_bytes,
+            PfcThreshold::Dynamic { alpha } => {
+                let free = buffer_capacity.saturating_sub(buffer_used);
+                (alpha * free as f64) as u64
+            }
+        }
+    }
+}
+
+/// Per-ingress PFC runtime state.
+#[derive(Clone, Debug, Default)]
+pub struct IngressState {
+    /// Data bytes currently queued in the switch that arrived on this
+    /// ingress.
+    pub bytes: u64,
+    /// True while this ingress has paused its upstream peer.
+    pub paused_upstream: bool,
+    /// Number of Xoff (pause) transitions — the paper's "PFC triggers".
+    pub pause_count: u64,
+    /// Time of the last pause, for pause-duration accounting.
+    pub paused_since: Option<Time>,
+    /// Accumulated paused time.
+    pub paused_total: Time,
+}
+
+/// What the accounting update decided.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PfcAction {
+    None,
+    /// Send a PAUSE upstream on this ingress.
+    Pause,
+    /// Send a RESUME upstream on this ingress.
+    Resume,
+}
+
+impl IngressState {
+    /// Account an arriving data packet and decide whether to pause.
+    pub fn on_enqueue(
+        &mut self,
+        bytes: u64,
+        cfg: &PfcConfig,
+        buffer_capacity: u64,
+        buffer_used: u64,
+        now: Time,
+    ) -> PfcAction {
+        self.bytes += bytes;
+        if !cfg.enabled || self.paused_upstream {
+            return PfcAction::None;
+        }
+        let xoff = cfg.xoff_threshold(buffer_capacity, buffer_used);
+        if self.bytes > xoff {
+            self.paused_upstream = true;
+            self.pause_count += 1;
+            self.paused_since = Some(now);
+            PfcAction::Pause
+        } else {
+            PfcAction::None
+        }
+    }
+
+    /// Account a departing data packet and decide whether to resume.
+    pub fn on_dequeue(
+        &mut self,
+        bytes: u64,
+        cfg: &PfcConfig,
+        buffer_capacity: u64,
+        buffer_used: u64,
+        now: Time,
+    ) -> PfcAction {
+        debug_assert!(self.bytes >= bytes, "ingress accounting underflow");
+        self.bytes = self.bytes.saturating_sub(bytes);
+        if !cfg.enabled || !self.paused_upstream {
+            return PfcAction::None;
+        }
+        let xoff = cfg.xoff_threshold(buffer_capacity, buffer_used);
+        let xon = xoff.saturating_sub(cfg.xon_gap_bytes);
+        if self.bytes <= xon {
+            self.paused_upstream = false;
+            if let Some(since) = self.paused_since.take() {
+                self.paused_total += now.saturating_sub(since);
+            }
+            PfcAction::Resume
+        } else {
+            PfcAction::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::US;
+
+    const CAP: u64 = 1_000_000;
+
+    #[test]
+    fn static_pause_and_resume_cycle() {
+        let cfg = PfcConfig::with_static(10_000);
+        let mut st = IngressState::default();
+        // Fill to just below threshold: no pause.
+        assert_eq!(st.on_enqueue(10_000, &cfg, CAP, 10_000, 0), PfcAction::None);
+        // One more byte crosses it.
+        assert_eq!(st.on_enqueue(1, &cfg, CAP, 10_001, 1 * US), PfcAction::Pause);
+        assert_eq!(st.pause_count, 1);
+        // Still above Xon: no resume yet.
+        assert_eq!(st.on_dequeue(1, &cfg, CAP, 10_000, 2 * US), PfcAction::None);
+        // Drain below xoff - gap.
+        let target = 10_000 - cfg.xon_gap_bytes;
+        assert_eq!(
+            st.on_dequeue(st.bytes - target, &cfg, CAP, target, 3 * US),
+            PfcAction::Resume
+        );
+        assert!(!st.paused_upstream);
+        assert_eq!(st.paused_total, 2 * US);
+    }
+
+    #[test]
+    fn no_double_pause() {
+        let cfg = PfcConfig::with_static(100);
+        let mut st = IngressState::default();
+        assert_eq!(st.on_enqueue(200, &cfg, CAP, 200, 0), PfcAction::Pause);
+        assert_eq!(st.on_enqueue(200, &cfg, CAP, 400, 0), PfcAction::None);
+        assert_eq!(st.pause_count, 1);
+    }
+
+    #[test]
+    fn dynamic_threshold_shrinks_as_buffer_fills() {
+        let cfg = PfcConfig {
+            enabled: true,
+            threshold: PfcThreshold::Dynamic { alpha: 1.0 },
+            xon_gap_bytes: 0,
+        };
+        // Nearly empty buffer: threshold near capacity.
+        assert_eq!(cfg.xoff_threshold(CAP, 0), CAP);
+        // Half full: threshold at half.
+        assert_eq!(cfg.xoff_threshold(CAP, CAP / 2), CAP / 2);
+        // Full: threshold zero — everything pauses.
+        assert_eq!(cfg.xoff_threshold(CAP, CAP), 0);
+    }
+
+    #[test]
+    fn disabled_never_pauses() {
+        let cfg = PfcConfig::disabled();
+        let mut st = IngressState::default();
+        assert_eq!(st.on_enqueue(u64::MAX / 2, &cfg, CAP, CAP, 0), PfcAction::None);
+        assert!(!st.paused_upstream);
+    }
+
+    #[test]
+    fn resume_requires_hysteresis_gap() {
+        let cfg = PfcConfig::with_static(10_000);
+        let mut st = IngressState::default();
+        st.on_enqueue(10_001, &cfg, CAP, 10_001, 0);
+        assert!(st.paused_upstream);
+        // Dequeue 1 byte: still paused (within the hysteresis band).
+        assert_eq!(st.on_dequeue(1, &cfg, CAP, 10_000, 0), PfcAction::None);
+        assert!(st.paused_upstream);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pause/resume events strictly alternate and byte accounting
+        /// never goes negative under arbitrary enqueue/dequeue traces.
+        #[test]
+        fn alternating_actions(ops in proptest::collection::vec((any::<bool>(), 1u64..5_000), 1..300)) {
+            let cfg = PfcConfig::with_static(20_000);
+            let mut st = IngressState::default();
+            let mut last_was_pause = false;
+            let mut used = 0u64;
+            for (enq, n) in ops {
+                let act = if enq {
+                    used += n;
+                    st.on_enqueue(n, &cfg, 1_000_000, used, 0)
+                } else {
+                    let n = n.min(st.bytes);
+                    if n == 0 { continue; }
+                    used = used.saturating_sub(n);
+                    st.on_dequeue(n, &cfg, 1_000_000, used, 0)
+                };
+                match act {
+                    PfcAction::Pause => {
+                        prop_assert!(!last_was_pause, "two pauses without a resume");
+                        last_was_pause = true;
+                    }
+                    PfcAction::Resume => {
+                        prop_assert!(last_was_pause, "resume without a pause");
+                        last_was_pause = false;
+                    }
+                    PfcAction::None => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-egress priority FIFO queues.
+//!
+//! Each link egress owns one [`PrioQueues`]: strict priority between the
+//! control and data classes, FIFO within a class, PFC pause per class.
+
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+use crate::types::{Priority, NUM_PRIORITIES};
+
+/// Strict-priority queue set for one egress.
+#[derive(Debug, Default)]
+pub struct PrioQueues {
+    queues: [VecDeque<Packet>; NUM_PRIORITIES],
+    bytes: [u64; NUM_PRIORITIES],
+    /// PFC pause state per class (true = paused by downstream).
+    paused: [bool; NUM_PRIORITIES],
+}
+
+impl PrioQueues {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a packet in its priority class.
+    pub fn enqueue(&mut self, pkt: Packet) {
+        let p = pkt.priority.index();
+        self.bytes[p] += pkt.size as u64;
+        self.queues[p].push_back(pkt);
+    }
+
+    /// Dequeue the next serviceable packet: highest priority first,
+    /// skipping paused classes.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        for p in 0..NUM_PRIORITIES {
+            if self.paused[p] {
+                continue;
+            }
+            if let Some(pkt) = self.queues[p].pop_front() {
+                self.bytes[p] -= pkt.size as u64;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    /// True if `dequeue` would return a packet.
+    pub fn has_serviceable(&self) -> bool {
+        (0..NUM_PRIORITIES).any(|p| !self.paused[p] && !self.queues[p].is_empty())
+    }
+
+    /// Set the PFC pause state for a class.
+    pub fn set_paused(&mut self, prio: Priority, paused: bool) {
+        self.paused[prio.index()] = paused;
+    }
+
+    pub fn is_paused(&self, prio: Priority) -> bool {
+        self.paused[prio.index()]
+    }
+
+    /// Queued bytes in one class.
+    #[inline]
+    pub fn bytes(&self, prio: Priority) -> u64 {
+        self.bytes[prio.index()]
+    }
+
+    /// Total queued bytes across classes.
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total queued packets across classes.
+    pub fn total_packets(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FlowId, NodeId};
+
+    fn data(id: u64) -> Packet {
+        Packet::data(id, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0)
+    }
+
+    fn control(id: u64) -> Packet {
+        Packet::cnp(id, FlowId(0), NodeId(1), NodeId(0))
+    }
+
+    #[test]
+    fn strict_priority() {
+        let mut q = PrioQueues::new();
+        q.enqueue(data(1));
+        q.enqueue(control(2));
+        q.enqueue(data(3));
+        assert_eq!(q.dequeue().unwrap().id, 2, "control served first");
+        assert_eq!(q.dequeue().unwrap().id, 1);
+        assert_eq!(q.dequeue().unwrap().id, 3);
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut q = PrioQueues::new();
+        q.enqueue(data(1));
+        q.enqueue(data(2));
+        let per = data(0).size as u64;
+        assert_eq!(q.bytes(Priority::Data), 2 * per);
+        assert_eq!(q.total_bytes(), 2 * per);
+        q.dequeue();
+        assert_eq!(q.bytes(Priority::Data), per);
+        q.dequeue();
+        assert_eq!(q.total_bytes(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pause_blocks_only_that_class() {
+        let mut q = PrioQueues::new();
+        q.enqueue(data(1));
+        q.enqueue(control(2));
+        q.set_paused(Priority::Data, true);
+        assert!(q.has_serviceable());
+        assert_eq!(q.dequeue().unwrap().id, 2);
+        // Only paused data remains.
+        assert!(!q.has_serviceable());
+        assert!(q.dequeue().is_none());
+        assert_eq!(q.total_packets(), 1, "paused packet still queued");
+        q.set_paused(Priority::Data, false);
+        assert_eq!(q.dequeue().unwrap().id, 1);
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut q = PrioQueues::new();
+        for i in 0..5 {
+            q.enqueue(data(i));
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue().unwrap().id, i);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Static shortest-path routing with ECMP.
+//!
+//! Routes are computed once at build time: for every destination host, a
+//! BFS labels each node with its distance, and every link that moves a
+//! packet strictly closer is an ECMP candidate. Flows pick among the
+//! candidates with a deterministic hash of (flow, node), so a flow's path
+//! is stable for its lifetime — the usual 5-tuple ECMP behaviour.
+
+use crate::types::{FlowId, LinkId, NodeId};
+
+/// Routing tables: `routes[node][host_slot]` = candidate egress links.
+pub struct RoutingTables {
+    /// Dense host index: `host_slot[node]` is the per-host slot, or
+    /// `u32::MAX` for non-hosts.
+    host_slot: Vec<u32>,
+    /// Per node, per destination-host-slot, ECMP candidate links.
+    routes: Vec<Vec<Vec<LinkId>>>,
+}
+
+/// Minimal adjacency view the router needs.
+pub struct GraphView<'a> {
+    /// For each node, its outgoing `(link, peer)` pairs.
+    pub adjacency: &'a [Vec<(LinkId, NodeId)>],
+    /// Nodes that are hosts (traffic endpoints).
+    pub hosts: &'a [NodeId],
+}
+
+impl RoutingTables {
+    /// Build full tables for a graph.
+    pub fn build(g: &GraphView<'_>) -> Self {
+        let n = g.adjacency.len();
+        let mut host_slot = vec![u32::MAX; n];
+        for (slot, h) in g.hosts.iter().enumerate() {
+            host_slot[h.index()] = slot as u32;
+        }
+        let mut routes = vec![vec![Vec::new(); g.hosts.len()]; n];
+        let mut dist = vec![u32::MAX; n];
+        let mut frontier: Vec<NodeId> = Vec::new();
+        let mut next: Vec<NodeId> = Vec::new();
+        for (slot, &dest) in g.hosts.iter().enumerate() {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[dest.index()] = 0;
+            frontier.clear();
+            frontier.push(dest);
+            let mut level = 0u32;
+            while !frontier.is_empty() {
+                level += 1;
+                next.clear();
+                for &node in &frontier {
+                    for &(_, peer) in &g.adjacency[node.index()] {
+                        if dist[peer.index()] == u32::MAX {
+                            dist[peer.index()] = level;
+                            next.push(peer);
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+            // Candidates: links to any neighbour strictly closer to dest.
+            for node in 0..n {
+                if node == dest.index() || dist[node] == u32::MAX {
+                    continue;
+                }
+                for &(link, peer) in &g.adjacency[node] {
+                    if dist[peer.index()] + 1 == dist[node] {
+                        routes[node][slot].push(link);
+                    }
+                }
+            }
+        }
+        RoutingTables { host_slot, routes }
+    }
+
+    /// ECMP candidates from `node` toward host `dst`.
+    pub fn candidates(&self, node: NodeId, dst: NodeId) -> &[LinkId] {
+        let slot = self.host_slot[dst.index()];
+        debug_assert!(slot != u32::MAX, "destination {dst} is not a host");
+        &self.routes[node.index()][slot as usize]
+    }
+
+    /// Deterministic ECMP selection for a flow at a node.
+    pub fn pick(&self, node: NodeId, dst: NodeId, flow: FlowId) -> Option<LinkId> {
+        let c = self.candidates(node, dst);
+        match c.len() {
+            0 => None,
+            1 => Some(c[0]),
+            n => {
+                let h = ecmp_hash(flow, node);
+                Some(c[(h % n as u64) as usize])
+            }
+        }
+    }
+}
+
+/// SplitMix64 over (flow, node): cheap, deterministic, well mixed.
+#[inline]
+pub fn ecmp_hash(flow: FlowId, node: NodeId) -> u64 {
+    let mut z = ((flow.0 as u64) << 32 | node.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a tiny 2-host / 2-switch diamond:
+    ///   h0 — s2 — s3 — h1   plus a second parallel middle switch s4.
+    ///
+    ///   h0(0) — s2(2) —— s3(3) — h1(1)
+    ///              \      /
+    ///               s4(4)
+    fn diamond() -> (Vec<Vec<(LinkId, NodeId)>>, Vec<NodeId>) {
+        let mut adj = vec![Vec::new(); 5];
+        let mut link_no = 0u32;
+        let mut connect = |adj: &mut Vec<Vec<(LinkId, NodeId)>>, a: usize, b: usize| {
+            adj[a].push((LinkId(link_no), NodeId(b as u32)));
+            link_no += 1;
+            adj[b].push((LinkId(link_no), NodeId(a as u32)));
+            link_no += 1;
+        };
+        connect(&mut adj, 0, 2);
+        connect(&mut adj, 2, 3);
+        connect(&mut adj, 2, 4);
+        connect(&mut adj, 4, 3);
+        connect(&mut adj, 3, 1);
+        (adj, vec![NodeId(0), NodeId(1)])
+    }
+
+    #[test]
+    fn shortest_path_only() {
+        let (adj, hosts) = diamond();
+        let rt = RoutingTables::build(&GraphView {
+            adjacency: &adj,
+            hosts: &hosts,
+        });
+        // From h0 toward h1: single candidate (the h0-s2 link).
+        assert_eq!(rt.candidates(NodeId(0), NodeId(1)).len(), 1);
+        // From s2 toward h1: direct s3 route is shorter than via s4, so
+        // only the s2→s3 link qualifies.
+        let c = rt.candidates(NodeId(2), NodeId(1));
+        assert_eq!(c, &[LinkId(2)]);
+    }
+
+    #[test]
+    fn ecmp_multiple_candidates() {
+        // Make both middle paths equal length by removing the direct
+        // s2–s3 link: h0 - s2 - {s3, s4} - ... we instead build a classic
+        // two-spine fabric: h0-leaf, leaf-{sp1,sp2}, {sp1,sp2}-leaf2,
+        // leaf2-h1.
+        let mut adj = vec![Vec::new(); 6];
+        let mut link_no = 0u32;
+        let mut connect = |adj: &mut Vec<Vec<(LinkId, NodeId)>>, a: usize, b: usize| -> (LinkId, LinkId) {
+            let l1 = LinkId(link_no);
+            adj[a].push((l1, NodeId(b as u32)));
+            link_no += 1;
+            let l2 = LinkId(link_no);
+            adj[b].push((l2, NodeId(a as u32)));
+            link_no += 1;
+            (l1, l2)
+        };
+        // 0=h0, 1=h1, 2=leaf0, 3=leaf1, 4=spine0, 5=spine1
+        connect(&mut adj, 0, 2);
+        let (l_up1, _) = connect(&mut adj, 2, 4);
+        let (l_up2, _) = connect(&mut adj, 2, 5);
+        connect(&mut adj, 4, 3);
+        connect(&mut adj, 5, 3);
+        connect(&mut adj, 3, 1);
+        let hosts = vec![NodeId(0), NodeId(1)];
+        let rt = RoutingTables::build(&GraphView {
+            adjacency: &adj,
+            hosts: &hosts,
+        });
+        let c = rt.candidates(NodeId(2), NodeId(1));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&l_up1) && c.contains(&l_up2));
+        // Pick is deterministic per flow.
+        let p1 = rt.pick(NodeId(2), NodeId(1), FlowId(7)).unwrap();
+        let p2 = rt.pick(NodeId(2), NodeId(1), FlowId(7)).unwrap();
+        assert_eq!(p1, p2);
+        // And different flows spread across candidates (statistically):
+        let mut seen = std::collections::HashSet::new();
+        for f in 0..32 {
+            seen.insert(rt.pick(NodeId(2), NodeId(1), FlowId(f)).unwrap());
+        }
+        assert_eq!(seen.len(), 2, "ECMP should use both uplinks");
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let a = ecmp_hash(FlowId(1), NodeId(2));
+        let b = ecmp_hash(FlowId(1), NodeId(2));
+        assert_eq!(a, b);
+        assert_ne!(ecmp_hash(FlowId(1), NodeId(2)), ecmp_hash(FlowId(2), NodeId(2)));
+        assert_ne!(ecmp_hash(FlowId(1), NodeId(2)), ecmp_hash(FlowId(1), NodeId(3)));
+    }
+}

@@ -1,0 +1,1004 @@
+//! The simulator core: event dispatch, forwarding, and the DCI-switch
+//! data-plane behaviours (near-source Switch-INT feedback, per-flow
+//! queueing with credit-controlled dequeue).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cc::{CcEnv, CcFactory};
+use crate::config::SimConfig;
+use crate::event::{Event, EventQueue};
+use crate::flow::{FctRecord, FlowPath, FlowSpec};
+use crate::host::HostTx;
+use crate::int::IntHop;
+use crate::monitor::{MonitorLog, MonitorSpec, Sample};
+use crate::node::Node;
+use crate::packet::{Packet, PacketKind, CONTROL_PACKET_BYTES};
+use crate::pfc::PfcAction;
+use crate::pfq::PfqDequeue;
+use crate::routing::RoutingTables;
+use crate::topology::Network;
+use crate::trace::{Trace, TraceEvent};
+use crate::types::{FlowId, LinkId, NodeId, Priority};
+use crate::units::{tx_time, Time, MS, US};
+
+/// Everything a run produces.
+#[derive(Default)]
+pub struct SimOutput {
+    /// Completion records, in completion order.
+    pub fcts: Vec<FctRecord>,
+    /// (time, switch) of every PFC pause transition.
+    pub pfc_events: Vec<(Time, NodeId)>,
+    /// Periodic samples.
+    pub monitor: MonitorLog,
+    pub events_processed: u64,
+    pub finished_at: Time,
+    /// Aggregated at finalize.
+    pub dropped_packets: u64,
+    pub retransmits: u64,
+}
+
+/// The simulator.
+pub struct Simulator {
+    pub now: Time,
+    pub cfg: SimConfig,
+    pub events: EventQueue,
+    pub nodes: Vec<Node>,
+    pub links: Vec<Link2>,
+    pub routes: RoutingTables,
+    pub hosts: Vec<NodeId>,
+    pub flows: Vec<FlowSpec>,
+    pub paths: Vec<Option<FlowPath>>,
+    factory: Box<dyn CcFactory>,
+    rng: StdRng,
+    pkt_id: u64,
+    pub out: SimOutput,
+    /// Optional flight recorder (see [`crate::trace`]). Off by default.
+    pub trace: Option<Trace>,
+}
+
+// The link type is defined in `link.rs`; alias locally for brevity.
+use crate::link::Link as Link2;
+
+impl Simulator {
+    /// Create a simulator over a built network.
+    pub fn new(net: Network, cfg: SimConfig, factory: Box<dyn CcFactory>) -> Self {
+        let mut sim = Simulator {
+            now: 0,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            events: EventQueue::new(),
+            nodes: net.nodes,
+            links: net.links,
+            routes: net.routes,
+            hosts: net.hosts,
+            flows: Vec::new(),
+            paths: Vec::new(),
+            factory,
+            pkt_id: 0,
+            out: SimOutput::default(),
+            trace: None,
+        };
+        if sim.cfg.monitor_interval > 0 {
+            sim.events.schedule(0, Event::MonitorTick);
+        }
+        sim
+    }
+
+    /// What the monitor samples (set before running).
+    pub fn set_monitor(&mut self, spec: MonitorSpec) {
+        self.out.monitor = MonitorLog::new(spec);
+    }
+
+    /// Attach a flight recorder with the given ring capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(tr) = &mut self.trace {
+            tr.record(self.now, ev);
+        }
+    }
+
+    /// Register a flow; it starts at `start`.
+    pub fn add_flow(&mut self, src: NodeId, dst: NodeId, size_bytes: u64, start: Time) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        let spec = FlowSpec {
+            id,
+            src,
+            dst,
+            size_bytes,
+            start,
+        };
+        self.flows.push(spec);
+        self.paths.push(None);
+        self.events.schedule(start, Event::FlowStart(id));
+        id
+    }
+
+    /// Hop-by-hop links a flow will take (ECMP-resolved).
+    pub fn resolve_path_links(&self, spec: &FlowSpec) -> Vec<LinkId> {
+        let mut cur = spec.src;
+        let mut path = Vec::new();
+        while cur != spec.dst {
+            let l = self
+                .routes
+                .pick(cur, spec.dst, spec.id)
+                .unwrap_or_else(|| panic!("no route {} → {}", cur, spec.dst));
+            path.push(l);
+            cur = self.links[l.index()].dst;
+            assert!(path.len() < 32, "routing loop {} → {}", spec.src, spec.dst);
+        }
+        path
+    }
+
+    fn resolve_path(&self, spec: &FlowSpec) -> FlowPath {
+        let links = self.resolve_path_links(spec);
+        let mtu_wire = self.cfg.mtu_wire() as u64;
+        let mut fwd: Time = 0;
+        let mut rev: Time = 0;
+        let mut cross = false;
+        let mut lh_idx = None;
+        let mut bottleneck = u64::MAX;
+        for (i, &l) in links.iter().enumerate() {
+            let lk = &self.links[l.index()];
+            fwd += lk.delay + tx_time(mtu_wire, lk.bandwidth);
+            rev += lk.delay + tx_time(CONTROL_PACKET_BYTES as u64, lk.bandwidth);
+            bottleneck = bottleneck.min(lk.bandwidth);
+            if lk.opts.long_haul {
+                cross = true;
+                lh_idx = Some(i);
+            }
+        }
+        let base_rtt = fwd + rev;
+        let (src_dc_rtt, dst_dc_rtt) = match lh_idx {
+            Some(i) => {
+                let seg = |l: &LinkId| {
+                    let lk = &self.links[l.index()];
+                    2 * lk.delay
+                        + tx_time(mtu_wire, lk.bandwidth)
+                        + tx_time(CONTROL_PACKET_BYTES as u64, lk.bandwidth)
+                };
+                let s: Time = links[..i].iter().map(seg).sum();
+                let d: Time = links[i + 1..].iter().map(seg).sum();
+                (s.max(US), d.max(US))
+            }
+            None => (base_rtt, base_rtt),
+        };
+        FlowPath {
+            base_rtt,
+            src_dc_rtt,
+            dst_dc_rtt,
+            cross_dc: cross,
+            line_rate_bps: self.links[links[0].index()].bandwidth,
+            bottleneck_bps: bottleneck,
+            hops: links.len() as u32,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Run control
+    // -----------------------------------------------------------------
+
+    /// Run until the event queue drains or `stop_time` passes.
+    pub fn run(&mut self) {
+        while let Some(t) = self.events.peek_time() {
+            if t > self.cfg.stop_time {
+                break;
+            }
+            self.step();
+        }
+        self.finalize();
+    }
+
+    /// Run until every registered flow has completed (or `stop_time`).
+    /// Returns true when all flows completed.
+    pub fn run_until_flows_complete(&mut self) -> bool {
+        while self.out.fcts.len() < self.flows.len() {
+            let Some(t) = self.events.peek_time() else {
+                break;
+            };
+            if t > self.cfg.stop_time {
+                break;
+            }
+            self.step();
+        }
+        self.finalize();
+        self.out.fcts.len() == self.flows.len()
+    }
+
+    fn finalize(&mut self) {
+        self.out.finished_at = self.now;
+        self.out.dropped_packets = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.as_switch())
+            .map(|s| s.buffer.dropped_packets)
+            .sum();
+        self.out.retransmits = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.as_host())
+            .map(|h| h.total_retransmits())
+            .sum();
+    }
+
+    /// Process one event.
+    pub fn step(&mut self) {
+        let Some((t, ev)) = self.events.pop() else {
+            return;
+        };
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        self.out.events_processed += 1;
+        match ev {
+            Event::FlowStart(f) => self.handle_flow_start(f),
+            Event::Arrival { link, packet } => self.handle_arrival(link, packet),
+            Event::TxComplete { link } => {
+                self.links[link.index()].busy = false;
+                self.try_start_tx(link);
+            }
+            Event::HostWake { node } => {
+                let uplink = {
+                    let h = self.nodes[node.index()].as_host_mut().expect("host");
+                    if h.wake_at == Some(t) {
+                        h.wake_at = None;
+                    }
+                    h.uplink
+                };
+                self.try_start_tx(uplink);
+            }
+            Event::PfqWake { link } => {
+                let lk = &mut self.links[link.index()];
+                if lk.pfq_wake_at == Some(t) {
+                    lk.pfq_wake_at = None;
+                }
+                self.try_start_tx(link);
+            }
+            Event::CcTimer { node, flow } => self.handle_cc_timer(node, flow),
+            Event::RtoCheck { node, flow } => self.handle_rto(node, flow),
+            Event::MonitorTick => self.handle_monitor(),
+            Event::PfcUpdate { link, paused } => {
+                self.links[link.index()]
+                    .queues
+                    .set_paused(Priority::Data, paused);
+                if !paused {
+                    self.try_start_tx(link);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Event handlers
+    // -----------------------------------------------------------------
+
+    fn handle_flow_start(&mut self, fid: FlowId) {
+        let spec = self.flows[fid.index()];
+        self.record(TraceEvent::FlowStarted {
+            flow: fid,
+            src: spec.src,
+            dst: spec.dst,
+            size_bytes: spec.size_bytes,
+        });
+        let path = self.resolve_path(&spec);
+        self.paths[fid.index()] = Some(path);
+        let env = CcEnv {
+            flow: spec,
+            path,
+            mtu_bytes: self.cfg.mtu_payload,
+        };
+        let sender = self.factory.sender(&env);
+        let receiver = self.factory.receiver(&env);
+        if let Some(h) = self.nodes[spec.dst.index()].as_host_mut() {
+            h.add_recv_flow(spec, path, receiver);
+        }
+        let (timer, uplink, rto) = {
+            let h = self.nodes[spec.src.index()]
+                .as_host_mut()
+                .expect("flow source is a host");
+            let timer = h.add_send_flow(spec, path, sender, self.now);
+            let rto = h.needs_rto(fid).unwrap_or(MS);
+            (timer, h.uplink, rto)
+        };
+        if let Some((f, at)) = timer {
+            self.events.schedule(at, Event::CcTimer { node: spec.src, flow: f });
+        }
+        self.events.schedule(
+            self.now + rto,
+            Event::RtoCheck {
+                node: spec.src,
+                flow: fid,
+            },
+        );
+        self.try_start_tx(uplink);
+    }
+
+    fn handle_arrival(&mut self, link: LinkId, pkt: Packet) {
+        let dst = self.links[link.index()].dst;
+        if self.nodes[dst.index()].is_host() {
+            self.host_arrival(dst, pkt);
+        } else {
+            self.switch_arrival(dst, link, pkt);
+        }
+    }
+
+    fn host_arrival(&mut self, node: NodeId, pkt: Packet) {
+        let now = self.now;
+        let (out, uplink) = {
+            let h = self.nodes[node.index()].as_host_mut().expect("host");
+            let out = h.on_packet(&pkt, now, &mut self.pkt_id);
+            if out.sender_done {
+                h.gc_finished();
+            }
+            (out, h.uplink)
+        };
+        for c in out.control {
+            self.links[uplink.index()].queues.enqueue(c);
+        }
+        for (f, at) in out.timers {
+            self.events.schedule(at, Event::CcTimer { node, flow: f });
+        }
+        if let Some(rec) = out.completed {
+            self.record(TraceEvent::FlowCompleted {
+                flow: rec.flow,
+                fct: rec.fct(),
+            });
+            self.out.fcts.push(rec);
+        }
+        self.try_start_tx(uplink);
+    }
+
+    fn switch_arrival(&mut self, node: NodeId, in_link: LinkId, mut pkt: Packet) {
+        let now = self.now;
+        let (is_lh_in, has_dci) = {
+            let sw = self.nodes[node.index()].as_switch().expect("switch");
+            (sw.is_long_haul_ingress(in_link), sw.dci.is_some())
+        };
+
+        // Receiver-side DCI: data from the long haul goes to its PFQ.
+        if pkt.is_data() && is_lh_in && self.cfg.dci.pfq_enabled {
+            // "Erase and reinsert the INT information" (§3.2.2): the
+            // sender-side records were already consumed by the
+            // near-source loop; the stack restarts here.
+            pkt.int.clear();
+            let Some(egress) = self.routes.pick(node, pkt.dst, pkt.flow) else {
+                debug_assert!(false, "no route at DCI");
+                return;
+            };
+            let size = pkt.size as u64;
+            {
+                let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
+                if !sw.buffer.admit(size, true) {
+                    self.record(TraceEvent::PacketDropped { flow: pkt.flow, at: node });
+                    return; // also counted by the buffer
+                }
+                let cap = sw.buffer.capacity();
+                let used = sw.buffer.used();
+                let pfc = sw.pfc;
+                // Ingress accounting kept symmetric with dequeue even
+                // though DCI PFC is disabled by default.
+                let act = sw
+                    .ingress
+                    .entry(in_link)
+                    .or_default()
+                    .on_enqueue(size, &pfc, cap, used, now);
+                debug_assert_eq!(act, PfcAction::None, "DCI PFC should stay off");
+                sw.dci
+                    .as_mut()
+                    .expect("dci role")
+                    .pfq_link
+                    .insert(pkt.flow, egress);
+            }
+            pkt.in_link = Some(in_link);
+            let flow = pkt.flow;
+            let created = self.links[egress.index()]
+                .pfq
+                .as_mut()
+                .expect("PFQ on DCI toward-DC egress")
+                .enqueue(pkt, now);
+            if created {
+                self.record(TraceEvent::PfqCreated { flow, link: egress });
+            }
+            self.try_start_tx(egress);
+            return;
+        }
+
+        // Receiver-side DCI: ACKs heading out the long haul carry the
+        // credit counter C_R and the dequeue rate R_credit (Algorithm 1).
+        if pkt.kind == PacketKind::Ack && has_dci && self.cfg.dci.pfq_enabled {
+            if let Some(egress) = self.routes.pick(node, pkt.dst, pkt.flow) {
+                let is_out = self.nodes[node.index()]
+                    .as_switch()
+                    .is_some_and(|sw| sw.is_long_haul_egress(egress));
+                if is_out {
+                    let pfq_link = self.nodes[node.index()]
+                        .as_switch()
+                        .and_then(|sw| sw.dci.as_ref())
+                        .and_then(|d| d.pfq_link.get(&pkt.flow))
+                        .copied();
+                    if let Some(pl) = pfq_link {
+                        let mut kick = false;
+                        if let Some(pfq) = self.links[pl.index()].pfq.as_mut() {
+                            if let Some(cr) = pkt.mlcc.c_r {
+                                pfq.set_credit(pkt.flow, cr, now);
+                            }
+                            if let Some(r) = pkt.mlcc.r_credit_bps {
+                                pfq.set_rate(pkt.flow, r, now);
+                                kick = true;
+                            }
+                        }
+                        if kick {
+                            self.try_start_tx(pl);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.forward_from(node, Some(in_link), pkt);
+    }
+
+    /// Normal store-and-forward at a switch (also used for locally
+    /// generated Switch-INT feedback, with `in_link = None`).
+    fn forward_from(&mut self, node: NodeId, in_link: Option<LinkId>, mut pkt: Packet) {
+        let now = self.now;
+        let Some(egress) = self.routes.pick(node, pkt.dst, pkt.flow) else {
+            debug_assert!(false, "no route {} → {}", node, pkt.dst);
+            return;
+        };
+        let size = pkt.size as u64;
+        let droppable = pkt.is_data();
+        {
+            let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
+            if !sw.buffer.admit(size, droppable) {
+                self.record(TraceEvent::PacketDropped { flow: pkt.flow, at: node });
+                return;
+            }
+        }
+        if pkt.is_data() {
+            // ECN at enqueue, on the egress data queue depth, with the
+            // egress port's marking profile.
+            let qlen = self.links[egress.index()].data_queued_bytes();
+            let uniform: f64 = self.rng.gen();
+            if self.links[egress.index()].ecn.should_mark(qlen, uniform) {
+                pkt.ecn = true;
+            }
+            // PFC ingress accounting.
+            if let Some(il) = in_link {
+                let signal_delay = self.links[il.index()].delay;
+                let act = {
+                    let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
+                    let cap = sw.buffer.capacity();
+                    let used = sw.buffer.used();
+                    let pfc = sw.pfc;
+                    sw.ingress
+                        .entry(il)
+                        .or_default()
+                        .on_enqueue(size, &pfc, cap, used, now)
+                };
+                if act == PfcAction::Pause {
+                    self.out.pfc_events.push((now, node));
+                    self.record(TraceEvent::PfcPause { at: node, ingress: il });
+                    self.events.schedule(
+                        now + signal_delay,
+                        Event::PfcUpdate {
+                            link: il,
+                            paused: true,
+                        },
+                    );
+                }
+            }
+        }
+        pkt.in_link = in_link;
+        self.links[egress.index()].queues.enqueue(pkt);
+        self.try_start_tx(egress);
+    }
+
+    /// Try to start serializing the next packet on `l`.
+    fn try_start_tx(&mut self, l: LinkId) {
+        let now = self.now;
+        if self.links[l.index()].busy {
+            return;
+        }
+        let data_paused = self.links[l.index()].queues.is_paused(Priority::Data);
+        let mut from_pfq = false;
+        let mut pkt = self.links[l.index()].queues.dequeue();
+        // MLCC per-flow queues (respect PFC pause on the data class).
+        if pkt.is_none() && !data_paused && self.links[l.index()].pfq.is_some() {
+            match self.links[l.index()].pfq.as_mut().unwrap().dequeue(now) {
+                PfqDequeue::Packet(p) => {
+                    pkt = Some(p);
+                    from_pfq = true;
+                }
+                PfqDequeue::NextAt(t) => {
+                    let lk = &mut self.links[l.index()];
+                    let need = lk.pfq_wake_at.is_none_or(|w| w <= now || w > t);
+                    if need {
+                        lk.pfq_wake_at = Some(t);
+                        self.events.schedule(t, Event::PfqWake { link: l });
+                    }
+                }
+                PfqDequeue::Empty => {}
+            }
+        }
+        // Host on-demand data generation.
+        if pkt.is_none() && !data_paused {
+            let src = self.links[l.index()].src;
+            if let Node::Host(h) = &mut self.nodes[src.index()] {
+                match h.next_data_packet(now, &mut self.pkt_id) {
+                    HostTx::Packet(p) => pkt = Some(p),
+                    HostTx::WakeAt(t) => {
+                        let need = h.wake_at.is_none_or(|w| w <= now || w > t);
+                        if need {
+                            h.wake_at = Some(t);
+                            self.events.schedule(t, Event::HostWake { node: src });
+                        }
+                    }
+                    HostTx::Idle => {}
+                }
+            }
+        }
+        let Some(mut pkt) = pkt else {
+            return;
+        };
+
+        // Dequeue bookkeeping at switch egresses.
+        let src = self.links[l.index()].src;
+        let mut resume_on: Option<LinkId> = None;
+        if let Node::Switch(sw) = &mut self.nodes[src.index()] {
+            sw.buffer.release(pkt.size as u64);
+            if pkt.is_data() {
+                if let Some(il) = pkt.in_link {
+                    let cap = sw.buffer.capacity();
+                    let used = sw.buffer.used();
+                    let pfc = sw.pfc;
+                    let act = sw
+                        .ingress
+                        .entry(il)
+                        .or_default()
+                        .on_dequeue(pkt.size as u64, &pfc, cap, used, now);
+                    if act == PfcAction::Resume {
+                        resume_on = Some(il);
+                    }
+                }
+            }
+        }
+        if let Some(il) = resume_on {
+            self.record(TraceEvent::PfcResume { at: src, ingress: il });
+            let d = self.links[il.index()].delay;
+            self.events.schedule(
+                now + d,
+                Event::PfcUpdate {
+                    link: il,
+                    paused: false,
+                },
+            );
+        }
+
+        // INT insertion at serialization start.
+        {
+            let lk = &mut self.links[l.index()];
+            if pkt.is_data() && lk.opts.int_enabled {
+                let qlen = if from_pfq {
+                    lk.pfq
+                        .as_ref()
+                        .and_then(|p| p.get(pkt.flow))
+                        .map_or(0, |s| s.bytes())
+                } else {
+                    lk.queues.bytes(Priority::Data)
+                };
+                pkt.int.push(IntHop {
+                    hop_id: lk.hop_id,
+                    ts: now,
+                    qlen_bytes: qlen,
+                    tx_bytes: lk.tx_bytes,
+                    link_bps: lk.bandwidth,
+                    is_dci: lk.opts.int_is_dci || from_pfq,
+                });
+            }
+            if from_pfq {
+                // Algorithm 1: stamp the PFQ's credit C_D into the data.
+                pkt.mlcc.c_d = lk.pfq.as_ref().and_then(|p| p.c_d(pkt.flow));
+            }
+        }
+
+        // Sender-side DCI near-source loop: strip INT onto a Switch-INT
+        // feedback packet as the data leaves the datacenter.
+        let mut feedback: Option<Packet> = None;
+        if pkt.is_data() && self.cfg.dci.near_source_enabled {
+            let is_lh = self.nodes[src.index()]
+                .as_switch()
+                .is_some_and(|sw| sw.is_long_haul_egress(l));
+            if is_lh {
+                let stack = pkt.int.take();
+                let due = self.nodes[src.index()]
+                    .as_switch_mut()
+                    .and_then(|sw| sw.dci.as_mut())
+                    .is_some_and(|d| d.switch_int_due(pkt.flow, now));
+                if due {
+                    self.pkt_id += 1;
+                    feedback = Some(Packet::switch_int(self.pkt_id, pkt.flow, src, pkt.src, stack));
+                }
+            }
+        }
+
+        // Start serialization.
+        let (ser, delay) = {
+            let lk = &mut self.links[l.index()];
+            lk.tx_bytes += pkt.size as u64;
+            lk.busy = true;
+            (lk.ser_time(pkt.size as u64), lk.delay)
+        };
+        self.events.schedule(now + ser, Event::TxComplete { link: l });
+        self.events
+            .schedule(now + ser + delay, Event::Arrival { link: l, packet: pkt });
+
+        if let Some(fb) = feedback {
+            self.forward_from(src, None, fb);
+        }
+    }
+
+    fn handle_cc_timer(&mut self, node: NodeId, flow: FlowId) {
+        let now = self.now;
+        let (out, uplink) = {
+            let Some(h) = self.nodes[node.index()].as_host_mut() else {
+                return;
+            };
+            let out = h.on_cc_timer(flow, now);
+            (out, h.uplink)
+        };
+        for (f, at) in out.timers {
+            self.events.schedule(at, Event::CcTimer { node, flow: f });
+        }
+        self.try_start_tx(uplink);
+    }
+
+    fn handle_rto(&mut self, node: NodeId, flow: FlowId) {
+        let now = self.now;
+        let (needs, retx, uplink) = {
+            let Some(h) = self.nodes[node.index()].as_host_mut() else {
+                return;
+            };
+            let needs = h.needs_rto(flow);
+            let retx = if needs.is_some() {
+                h.on_rto_check(flow, now)
+            } else {
+                false
+            };
+            (needs, retx, h.uplink)
+        };
+        if retx {
+            let from_seq = self.nodes[node.index()]
+                .as_host()
+                .and_then(|h| h.send_flow(flow))
+                .map_or(0, |f| f.bytes_acked);
+            self.record(TraceEvent::Retransmit { flow, from_seq });
+            self.try_start_tx(uplink);
+        }
+        if let Some(rto) = needs {
+            self.events.schedule(now + rto, Event::RtoCheck { node, flow });
+        }
+    }
+
+    fn handle_monitor(&mut self) {
+        let now = self.now;
+        let mut s = Sample {
+            t: now,
+            queue_bytes: Vec::new(),
+            flow_rx_bytes: Vec::new(),
+            pfc_pauses: Vec::new(),
+            pfq_per_flow: Vec::new(),
+        };
+        // Sample against the spec without holding a borrow on out.monitor.
+        let n_q = self.out.monitor.spec.queues.len();
+        for i in 0..n_q {
+            let q = self.out.monitor.spec.queues[i];
+            s.queue_bytes.push(self.links[q.index()].queued_bytes());
+        }
+        let n_f = self.out.monitor.spec.flows.len();
+        for i in 0..n_f {
+            let f = self.out.monitor.spec.flows[i];
+            let dst = self.flows[f.index()].dst;
+            let b = self.nodes[dst.index()]
+                .as_host()
+                .and_then(|h| h.recv_flow(f))
+                .map_or(0, |r| r.expected);
+            s.flow_rx_bytes.push(b);
+        }
+        let n_p = self.out.monitor.spec.pfc_switches.len();
+        for i in 0..n_p {
+            let n = self.out.monitor.spec.pfc_switches[i];
+            s.pfc_pauses.push(
+                self.nodes[n.index()]
+                    .as_switch()
+                    .map_or(0, |sw| sw.pfc_pause_count()),
+            );
+        }
+        if let Some(pl) = self.out.monitor.spec.pfq_link {
+            if let Some(pfq) = self.links[pl.index()].pfq.as_ref() {
+                s.pfq_per_flow = pfq.per_flow_bytes().collect();
+            }
+        }
+        self.out.monitor.samples.push(s);
+        let next = now + self.cfg.monitor_interval;
+        if next <= self.cfg.stop_time {
+            self.events.schedule(next, Event::MonitorTick);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Introspection helpers for scenarios and tests
+    // -----------------------------------------------------------------
+
+    /// Total bytes delivered to all receivers.
+    pub fn total_delivered(&self) -> u64 {
+        self.flows
+            .iter()
+            .filter_map(|f| {
+                self.nodes[f.dst.index()]
+                    .as_host()
+                    .and_then(|h| h.recv_flow(f.id))
+                    .map(|r| r.expected)
+            })
+            .sum()
+    }
+
+    /// Total PFC pauses across all switches.
+    pub fn total_pfc_pauses(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.as_switch())
+            .map(|s| s.pfc_pause_count())
+            .sum()
+    }
+
+    /// The resolved path of a flow, if it has started.
+    pub fn flow_path(&self, f: FlowId) -> Option<FlowPath> {
+        self.paths.get(f.index()).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{FixedRateCc, NoCcFactory, ReceiverCc, SenderCc};
+    use crate::ecn::EcnConfig;
+    use crate::link::LinkOpts;
+    use crate::pfc::PfcConfig;
+    use crate::switch::SwitchKind;
+    use crate::topology::NetBuilder;
+    use crate::units::{GBPS, MS, US};
+
+    /// h0 — s — h1, both links 10 Gbps / 1 µs.
+    fn line_net() -> Network {
+        let mut b = NetBuilder::new(1000);
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let s = b.add_switch(SwitchKind::Leaf, 22_000_000, PfcConfig::dc_switch());
+        b.connect(h0, s, 10 * GBPS, 1 * US, LinkOpts::default());
+        b.connect(h1, s, 10 * GBPS, 1 * US, LinkOpts::default());
+        b.build()
+    }
+
+    #[test]
+    fn single_flow_completes_with_expected_fct() {
+        let net = line_net();
+        let cfg = SimConfig::default();
+        let mut sim = Simulator::new(net, cfg, Box::new(NoCcFactory));
+        let size = 100_000u64;
+        sim.add_flow(NodeId(0), NodeId(1), size, 0);
+        assert!(sim.run_until_flows_complete());
+        assert_eq!(sim.out.fcts.len(), 1);
+        let fct = sim.out.fcts[0].fct();
+        // Ideal: ~size/10Gbps + path latency. 100 packets of 1048 B at
+        // 10 Gbps is 83.84 µs; propagation+ser overheads add a few µs.
+        let ideal = tx_time(100 * 1048, 10 * GBPS);
+        assert!(fct >= ideal, "fct {fct} < ideal {ideal}");
+        assert!(fct < ideal + 20 * US, "fct {fct} ≫ ideal {ideal}");
+        assert_eq!(sim.out.dropped_packets, 0);
+        assert_eq!(sim.out.retransmits, 0);
+    }
+
+    #[test]
+    fn byte_conservation_across_flows() {
+        let net = line_net();
+        let mut sim = Simulator::new(net, SimConfig::default(), Box::new(NoCcFactory));
+        let sizes = [5_000u64, 42_000, 99_999];
+        for (i, &s) in sizes.iter().enumerate() {
+            sim.add_flow(NodeId(0), NodeId(1), s, (i as u64) * 10 * US);
+        }
+        assert!(sim.run_until_flows_complete());
+        assert_eq!(sim.total_delivered(), sizes.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn two_senders_one_receiver_share_bottleneck() {
+        // h0 and h2 both send to h1 at line rate: the s→h1 link is the
+        // bottleneck; PFC keeps everything lossless, so both flows
+        // complete and deliver all bytes.
+        let mut b = NetBuilder::new(1000);
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let h2 = b.add_host();
+        let s = b.add_switch(SwitchKind::Leaf, 22_000_000, PfcConfig::dc_switch());
+        for h in [h0, h1, h2] {
+            b.connect(h, s, 10 * GBPS, 1 * US, LinkOpts::default());
+        }
+        let net = b.build();
+        let mut sim = Simulator::new(net, SimConfig::default(), Box::new(NoCcFactory));
+        sim.add_flow(h0, h1, 500_000, 0);
+        sim.add_flow(h2, h1, 500_000, 0);
+        assert!(sim.run_until_flows_complete());
+        assert_eq!(sim.out.dropped_packets, 0, "lossless fabric");
+        // Two 10G senders into one 10G sink: finishing takes at least
+        // 2 × 500 KB at 10 Gbps.
+        let min_time = tx_time(2 * 500_000, 10 * GBPS);
+        assert!(sim.out.finished_at >= min_time);
+    }
+
+    #[test]
+    fn pfc_triggers_under_incast() {
+        // Small switch buffer forces PFC pauses under 2:1 incast.
+        let mut b = NetBuilder::new(1000);
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let h2 = b.add_host();
+        let s = b.add_switch(SwitchKind::Leaf, 200_000, PfcConfig::dc_switch());
+        // 200 KB shared buffer; marking off so only PFC acts.
+        for h in [h0, h1, h2] {
+            b.connect(h, s, 10 * GBPS, 1 * US, LinkOpts::default());
+        }
+        let net = b.build();
+        let mut sim = Simulator::new(net, SimConfig::default(), Box::new(NoCcFactory));
+        sim.add_flow(h0, h1, 2_000_000, 0);
+        sim.add_flow(h2, h1, 2_000_000, 0);
+        assert!(sim.run_until_flows_complete());
+        assert!(sim.total_pfc_pauses() > 0, "incast must trigger PFC");
+        assert_eq!(sim.out.dropped_packets, 0, "PFC prevents loss");
+        assert!(!sim.out.pfc_events.is_empty());
+    }
+
+    #[test]
+    fn drops_without_pfc_then_rto_recovers() {
+        let mut b = NetBuilder::new(1000);
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let h2 = b.add_host();
+        let s = b.add_switch(SwitchKind::Leaf, 100_000, PfcConfig::disabled());
+        for h in [h0, h1, h2] {
+            b.connect(h, s, 10 * GBPS, 1 * US, LinkOpts::default());
+        }
+        let net = b.build();
+        let cfg = SimConfig {
+            stop_time: 200 * MS,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(net, cfg, Box::new(NoCcFactory));
+        sim.add_flow(h0, h1, 1_000_000, 0);
+        sim.add_flow(h2, h1, 1_000_000, 0);
+        let done = sim.run_until_flows_complete();
+        assert!(sim.out.dropped_packets > 0, "no PFC → overflow drops");
+        assert!(done, "go-back-N still completes the flows");
+        assert!(sim.out.retransmits > 0);
+    }
+
+    #[test]
+    fn ecn_marks_build_up_under_congestion() {
+        // Receiver counts marked packets via a probe ReceiverCc.
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct CountingReceiver(Rc<Cell<u64>>);
+        impl ReceiverCc for CountingReceiver {
+            fn on_data(&mut self, pkt: &Packet, _now: Time) -> crate::cc::AckFields {
+                if pkt.ecn {
+                    self.0.set(self.0.get() + 1);
+                }
+                crate::cc::AckFields::default()
+            }
+        }
+        struct ProbeFactory(Rc<Cell<u64>>);
+        impl CcFactory for ProbeFactory {
+            fn sender(&self, env: &CcEnv) -> Box<dyn SenderCc> {
+                Box::new(FixedRateCc::new(env.path.line_rate_bps as f64))
+            }
+            fn receiver(&self, _env: &CcEnv) -> Box<dyn ReceiverCc> {
+                Box::new(CountingReceiver(self.0.clone()))
+            }
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+        }
+
+        let mut b = NetBuilder::new(1000);
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let h2 = b.add_host();
+        let s = b.add_switch(SwitchKind::Leaf, 22_000_000, PfcConfig::dc_switch());
+        let custom = EcnConfig {
+            kmin_bytes: 20_000,
+            kmax_bytes: 80_000,
+            pmax: 0.2,
+            enabled: true,
+        };
+        for h in [h0, h1, h2] {
+            b.connect(
+                h,
+                s,
+                10 * GBPS,
+                1 * US,
+                LinkOpts {
+                    ecn: Some(custom),
+                    ..LinkOpts::default()
+                },
+            );
+        }
+        let net = b.build();
+        let marks = Rc::new(Cell::new(0));
+        let mut sim = Simulator::new(
+            net,
+            SimConfig::default(),
+            Box::new(ProbeFactory(marks.clone())),
+        );
+        sim.add_flow(h0, h1, 2_000_000, 0);
+        sim.add_flow(h2, h1, 2_000_000, 0);
+        assert!(sim.run_until_flows_complete());
+        assert!(marks.get() > 0, "standing queue must produce CE marks");
+    }
+
+    #[test]
+    fn monitor_collects_samples() {
+        let net = line_net();
+        let cfg = SimConfig {
+            monitor_interval: 10 * US,
+            stop_time: 1 * MS,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(net, cfg, Box::new(NoCcFactory));
+        let uplink = sim.nodes[0].as_host().unwrap().uplink;
+        sim.set_monitor(crate::monitor::MonitorSpec {
+            queues: vec![uplink],
+            flows: vec![FlowId(0)],
+            pfc_switches: vec![NodeId(2)],
+            pfq_link: None,
+        });
+        sim.add_flow(NodeId(0), NodeId(1), 100_000, 0);
+        sim.run();
+        assert!(sim.out.monitor.samples.len() >= 50);
+        // Flow progress is monotone in the samples.
+        let rx: Vec<u64> = sim.out.monitor.samples.iter().map(|s| s.flow_rx_bytes[0]).collect();
+        assert!(rx.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*rx.last().unwrap(), 100_000);
+    }
+
+    #[test]
+    fn path_resolution_intra_dc() {
+        let net = line_net();
+        let mut sim = Simulator::new(net, SimConfig::default(), Box::new(NoCcFactory));
+        let f = sim.add_flow(NodeId(0), NodeId(1), 1000, 0);
+        sim.run_until_flows_complete();
+        let p = sim.flow_path(f).unwrap();
+        assert!(!p.cross_dc);
+        assert_eq!(p.hops, 2);
+        assert_eq!(p.line_rate_bps, 10 * GBPS);
+        assert_eq!(p.bottleneck_bps, 10 * GBPS);
+        assert_eq!(p.base_rtt, p.src_dc_rtt);
+        // Base RTT: 2 links of 1 µs each way + serialization.
+        assert!(p.base_rtt > 4 * US && p.base_rtt < 10 * US, "{}", p.base_rtt);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let net = line_net();
+            let mut sim = Simulator::new(net, SimConfig::default(), Box::new(NoCcFactory));
+            sim.add_flow(NodeId(0), NodeId(1), 250_000, 0);
+            sim.run_until_flows_complete();
+            (sim.out.fcts[0].fct(), sim.out.events_processed)
+        };
+        assert_eq!(run(), run());
+    }
+}

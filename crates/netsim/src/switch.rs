@@ -1,0 +1,143 @@
+//! Switch state: shared buffer, ECN profile, PFC accounting, and the DCI
+//! role extensions (near-source Switch-INT feedback and PFQ bookkeeping).
+//!
+//! Forwarding logic lives in the simulator core (`sim.rs`); this module is
+//! the per-switch data and the small self-contained decision helpers.
+
+use std::collections::HashMap;
+
+use crate::buffer::SharedBuffer;
+use crate::pfc::{IngressState, PfcConfig};
+use crate::types::{FlowId, LinkId, NodeId};
+use crate::units::Time;
+
+/// What kind of switch this is (affects defaults and reporting only).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SwitchKind {
+    Leaf,
+    Spine,
+    Dci,
+}
+
+/// DCI-role state: present only on DCI switches.
+pub struct DciState {
+    /// Egress link toward the remote datacenter.
+    pub long_haul_out: LinkId,
+    /// Ingress link from the remote datacenter.
+    pub long_haul_in: LinkId,
+    /// Minimum interval between Switch-INT feedback packets per flow.
+    pub switch_int_min_interval: Time,
+    /// Last Switch-INT emission time per flow.
+    pub last_switch_int: HashMap<FlowId, Time>,
+    /// Which egress link holds each cross-DC flow's PFQ (receiver side).
+    pub pfq_link: HashMap<FlowId, LinkId>,
+    /// Count of Switch-INT feedback packets emitted.
+    pub switch_int_sent: u64,
+}
+
+impl DciState {
+    pub fn new(long_haul_out: LinkId, long_haul_in: LinkId, min_interval: Time) -> Self {
+        DciState {
+            long_haul_out,
+            long_haul_in,
+            switch_int_min_interval: min_interval,
+            last_switch_int: HashMap::new(),
+            pfq_link: HashMap::new(),
+            switch_int_sent: 0,
+        }
+    }
+
+    /// Whether a Switch-INT feedback for `flow` may be emitted now.
+    pub fn switch_int_due(&mut self, flow: FlowId, now: Time) -> bool {
+        match self.last_switch_int.get(&flow) {
+            Some(&t) if now < t + self.switch_int_min_interval => false,
+            _ => {
+                self.last_switch_int.insert(flow, now);
+                self.switch_int_sent += 1;
+                true
+            }
+        }
+    }
+}
+
+/// One switch.
+pub struct Switch {
+    pub id: NodeId,
+    pub kind: SwitchKind,
+    pub buffer: SharedBuffer,
+    pub pfc: PfcConfig,
+    /// Per-ingress PFC accounting, keyed by the arriving link.
+    pub ingress: HashMap<LinkId, IngressState>,
+    /// DCI role, when this switch terminates the long-haul link.
+    pub dci: Option<DciState>,
+}
+
+impl Switch {
+    pub fn new(id: NodeId, kind: SwitchKind, buffer_bytes: u64, pfc: PfcConfig) -> Self {
+        Switch {
+            id,
+            kind,
+            buffer: SharedBuffer::new(buffer_bytes),
+            pfc,
+            ingress: HashMap::new(),
+            dci: None,
+        }
+    }
+
+    /// Total PFC pause transitions on this switch.
+    pub fn pfc_pause_count(&self) -> u64 {
+        self.ingress.values().map(|i| i.pause_count).sum()
+    }
+
+    /// Total time spent paused across ingresses.
+    pub fn pfc_paused_total(&self) -> Time {
+        self.ingress.values().map(|i| i.paused_total).sum()
+    }
+
+    /// Whether this switch is the sender-side DCI for a packet taking
+    /// `egress` (i.e. the packet is about to leave the datacenter).
+    pub fn is_long_haul_egress(&self, egress: LinkId) -> bool {
+        self.dci.as_ref().is_some_and(|d| d.long_haul_out == egress)
+    }
+
+    /// Whether a packet arriving on `ingress` just crossed the long haul.
+    pub fn is_long_haul_ingress(&self, ingress: LinkId) -> bool {
+        self.dci.as_ref().is_some_and(|d| d.long_haul_in == ingress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::US;
+
+    #[test]
+    fn switch_int_rate_limiting() {
+        let mut d = DciState::new(LinkId(0), LinkId(1), 5 * US);
+        assert!(d.switch_int_due(FlowId(0), 0));
+        assert!(!d.switch_int_due(FlowId(0), 3 * US));
+        assert!(d.switch_int_due(FlowId(0), 5 * US));
+        // Independent per flow.
+        assert!(d.switch_int_due(FlowId(1), 6 * US));
+        assert_eq!(d.switch_int_sent, 3);
+    }
+
+    #[test]
+    fn long_haul_role_checks() {
+        let mut s = Switch::new(NodeId(9), SwitchKind::Dci, 128_000_000, PfcConfig::disabled());
+        assert!(!s.is_long_haul_egress(LinkId(0)));
+        s.dci = Some(DciState::new(LinkId(0), LinkId(1), US));
+        assert!(s.is_long_haul_egress(LinkId(0)));
+        assert!(!s.is_long_haul_egress(LinkId(1)));
+        assert!(s.is_long_haul_ingress(LinkId(1)));
+        assert!(!s.is_long_haul_ingress(LinkId(0)));
+    }
+
+    #[test]
+    fn pfc_counters_aggregate() {
+        let mut s = Switch::new(NodeId(1), SwitchKind::Leaf, 22_000_000, PfcConfig::dc_switch());
+        s.ingress.entry(LinkId(0)).or_default().pause_count = 3;
+        s.ingress.entry(LinkId(1)).or_default().pause_count = 2;
+        assert_eq!(s.pfc_pause_count(), 5);
+    }
+}

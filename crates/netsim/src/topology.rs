@@ -1,0 +1,529 @@
+//! Network construction: a generic builder plus the paper's topologies.
+//!
+//! * [`TwoDcTopology`] — Fig. 1: two datacenters, each with 2 spines and 4
+//!   leaves (racks), connected by DCI switches over a long-haul link.
+//! * [`DumbbellTopology`] — the testbed of §4.6: 2 ToRs, 2 DCI switches,
+//!   2 servers per ToR.
+
+use crate::ecn::EcnConfig;
+use crate::host::Host;
+use crate::link::{Link, LinkOpts};
+use crate::node::Node;
+use crate::pfc::PfcConfig;
+use crate::pfq::PfqSet;
+use crate::queue::PrioQueues;
+use crate::routing::{GraphView, RoutingTables};
+use crate::switch::{DciState, Switch, SwitchKind};
+use crate::types::{LinkId, NodeId};
+use crate::units::{Bandwidth, Time, GBPS, MS, US};
+
+/// A constructed network, ready to hand to the simulator.
+pub struct Network {
+    pub nodes: Vec<Node>,
+    pub links: Vec<Link>,
+    pub routes: RoutingTables,
+    pub hosts: Vec<NodeId>,
+}
+
+/// Incremental network builder.
+pub struct NetBuilder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<(LinkId, NodeId)>>,
+    hosts: Vec<NodeId>,
+    mtu_payload: u32,
+}
+
+impl NetBuilder {
+    pub fn new(mtu_payload: u32) -> Self {
+        NetBuilder {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            adjacency: Vec::new(),
+            hosts: Vec::new(),
+            mtu_payload,
+        }
+    }
+
+    /// Add a server. Its uplink is wired by the first `connect` call that
+    /// names it.
+    pub fn add_host(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes
+            .push(Node::Host(Host::new(id, LinkId(u32::MAX), self.mtu_payload)));
+        self.adjacency.push(Vec::new());
+        self.hosts.push(id);
+        id
+    }
+
+    /// Add a switch.
+    pub fn add_switch(&mut self, kind: SwitchKind, buffer_bytes: u64, pfc: PfcConfig) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes
+            .push(Node::Switch(Switch::new(id, kind, buffer_bytes, pfc)));
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Override the ECN profile of one link's egress.
+    pub fn set_link_ecn(&mut self, link: LinkId, ecn: EcnConfig) {
+        self.links[link.index()].ecn = ecn;
+    }
+
+    /// Connect two nodes with a bidirectional link pair; returns
+    /// `(a→b, b→a)`.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: Bandwidth,
+        delay: Time,
+        opts: LinkOpts,
+    ) -> (LinkId, LinkId) {
+        let fwd = LinkId(self.links.len() as u32);
+        let rev = LinkId(self.links.len() as u32 + 1);
+        let ecn = opts.ecn.unwrap_or_else(|| EcnConfig::dc_switch(bandwidth));
+        for (id, reverse, src, dst) in [(fwd, rev, a, b), (rev, fwd, b, a)] {
+            self.links.push(Link {
+                id,
+                src,
+                dst,
+                bandwidth,
+                delay,
+                reverse,
+                opts,
+                ecn,
+                queues: PrioQueues::new(),
+                pfq: None,
+                busy: false,
+                tx_bytes: 0,
+                pfq_wake_at: None,
+                hop_id: id.0,
+            });
+        }
+        self.adjacency[a.index()].push((fwd, b));
+        self.adjacency[b.index()].push((rev, a));
+        // First link out of a host becomes its uplink.
+        for (n, l) in [(a, fwd), (b, rev)] {
+            if let Node::Host(h) = &mut self.nodes[n.index()] {
+                if h.uplink == LinkId(u32::MAX) {
+                    h.uplink = l;
+                }
+            }
+        }
+        (fwd, rev)
+    }
+
+    /// Attach an MLCC per-flow-queue set to a link's egress.
+    pub fn enable_pfq(&mut self, link: LinkId, init_rate: Bandwidth) {
+        let mtu_wire = self.mtu_payload + crate::packet::DATA_HEADER_BYTES;
+        self.links[link.index()].pfq = Some(PfqSet::new(init_rate, mtu_wire));
+    }
+
+    /// Declare a switch as a DCI endpoint of the long-haul link pair.
+    pub fn set_dci(
+        &mut self,
+        node: NodeId,
+        long_haul_out: LinkId,
+        long_haul_in: LinkId,
+        switch_int_min_interval: Time,
+    ) {
+        if let Node::Switch(sw) = &mut self.nodes[node.index()] {
+            sw.dci = Some(DciState::new(
+                long_haul_out,
+                long_haul_in,
+                switch_int_min_interval,
+            ));
+        } else {
+            panic!("set_dci on a host");
+        }
+    }
+
+    /// Finalize: compute routing tables.
+    pub fn build(self) -> Network {
+        let routes = RoutingTables::build(&GraphView {
+            adjacency: &self.adjacency,
+            hosts: &self.hosts,
+        });
+        Network {
+            nodes: self.nodes,
+            links: self.links,
+            routes,
+            hosts: self.hosts,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's two-DC spine-leaf topology (Fig. 1).
+// ---------------------------------------------------------------------------
+
+/// Parameters of the Fig. 1 topology, defaulting to the paper's §4.1 setup.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoDcParams {
+    pub spines_per_dc: usize,
+    pub leaves_per_dc: usize,
+    pub servers_per_leaf: usize,
+    pub server_link: Bandwidth,
+    pub fabric_link: Bandwidth,
+    pub long_haul_link: Bandwidth,
+    pub server_delay: Time,
+    pub fabric_delay: Time,
+    pub long_haul_delay: Time,
+    pub dc_switch_buffer: u64,
+    pub dci_switch_buffer: u64,
+    /// PFC on intra-DC switches.
+    pub pfc: PfcConfig,
+    /// ECN marking on DCI switches (baselines rely on it; MLCC does not).
+    pub dci_ecn: EcnConfig,
+    /// MLCC per-flow-queue initial rate (PFQs are created on the DCI's
+    /// toward-DC egresses; they only activate when the run's
+    /// `DciFeatures::pfq_enabled` is set).
+    pub pfq_init_rate: Bandwidth,
+    pub switch_int_min_interval: Time,
+    pub mtu_payload: u32,
+}
+
+impl Default for TwoDcParams {
+    fn default() -> Self {
+        TwoDcParams {
+            spines_per_dc: 2,
+            leaves_per_dc: 4,
+            // Paper scale is 32 (4:1 oversubscription at 25G/100G); the
+            // default here is paper-faithful. Scenarios scale it down
+            // for quick runs.
+            servers_per_leaf: 32,
+            server_link: 25 * GBPS,
+            fabric_link: 100 * GBPS,
+            long_haul_link: 100 * GBPS,
+            server_delay: 1 * US,
+            fabric_delay: 5 * US,
+            long_haul_delay: 3 * MS,
+            dc_switch_buffer: 22_000_000,
+            dci_switch_buffer: 128_000_000,
+            pfc: PfcConfig::dc_switch(),
+            dci_ecn: EcnConfig::dci_switch(),
+            pfq_init_rate: 25 * GBPS,
+            switch_int_min_interval: 4 * US,
+            mtu_payload: 1000,
+        }
+    }
+}
+
+/// Handles into the built two-DC network.
+pub struct TwoDcTopology {
+    pub net: Network,
+    pub params: TwoDcParams,
+    /// `servers[dc][leaf][i]`.
+    pub servers: Vec<Vec<Vec<NodeId>>>,
+    /// `leaves[dc][i]`, `spines[dc][i]`.
+    pub leaves: Vec<Vec<NodeId>>,
+    pub spines: Vec<Vec<NodeId>>,
+    /// DCI switch per DC.
+    pub dcis: Vec<NodeId>,
+    /// Long-haul links: `long_haul[0]` is DC0→DC1.
+    pub long_haul: [LinkId; 2],
+    /// DCI→spine egress links per DC (the receiver-side PFQ egresses).
+    pub dci_to_spine: Vec<Vec<LinkId>>,
+    /// spine→DCI egress links per DC (the sender-side DCI approaches).
+    pub spine_to_dci: Vec<Vec<LinkId>>,
+}
+
+impl TwoDcTopology {
+    pub fn build(params: TwoDcParams) -> Self {
+        let mut b = NetBuilder::new(params.mtu_payload);
+        let mut servers = Vec::new();
+        let mut leaves = Vec::new();
+        let mut spines = Vec::new();
+        let mut dcis = Vec::new();
+
+        for _dc in 0..2 {
+            let dc_leaves: Vec<NodeId> = (0..params.leaves_per_dc)
+                .map(|_| b.add_switch(SwitchKind::Leaf, params.dc_switch_buffer, params.pfc))
+                .collect();
+            let dc_spines: Vec<NodeId> = (0..params.spines_per_dc)
+                .map(|_| b.add_switch(SwitchKind::Spine, params.dc_switch_buffer, params.pfc))
+                .collect();
+            let dci = b.add_switch(SwitchKind::Dci, params.dci_switch_buffer, PfcConfig::disabled());
+            let mut dc_servers = Vec::new();
+            for &leaf in &dc_leaves {
+                let rack: Vec<NodeId> = (0..params.servers_per_leaf)
+                    .map(|_| {
+                        let h = b.add_host();
+                        b.connect(
+                            h,
+                            leaf,
+                            params.server_link,
+                            params.server_delay,
+                            LinkOpts::default(),
+                        );
+                        h
+                    })
+                    .collect();
+                dc_servers.push(rack);
+            }
+            for &leaf in &dc_leaves {
+                for &spine in &dc_spines {
+                    b.connect(
+                        leaf,
+                        spine,
+                        params.fabric_link,
+                        params.fabric_delay,
+                        LinkOpts::default(),
+                    );
+                }
+            }
+            servers.push(dc_servers);
+            leaves.push(dc_leaves);
+            spines.push(dc_spines);
+            dcis.push(dci);
+        }
+
+        // Spine ↔ DCI links.
+        let mut dci_to_spine = vec![Vec::new(), Vec::new()];
+        let mut spine_to_dci = vec![Vec::new(), Vec::new()];
+        for dc in 0..2 {
+            for &spine in &spines[dc] {
+                let (s2d, d2s) = b.connect(
+                    spine,
+                    dcis[dc],
+                    params.fabric_link,
+                    params.fabric_delay,
+                    LinkOpts::default(),
+                );
+                spine_to_dci[dc].push(s2d);
+                dci_to_spine[dc].push(d2s);
+                b.enable_pfq(d2s, params.pfq_init_rate);
+                // Deep-buffer egress: the DCI marks far later than the
+                // shallow DC switches.
+                b.set_link_ecn(d2s, params.dci_ecn);
+            }
+        }
+
+        // Long-haul link.
+        let (lh01, lh10) = b.connect(
+            dcis[0],
+            dcis[1],
+            params.long_haul_link,
+            params.long_haul_delay,
+            LinkOpts {
+                int_enabled: true,
+                int_is_dci: true,
+                long_haul: true,
+                ecn: Some(params.dci_ecn),
+            },
+        );
+        b.set_dci(dcis[0], lh01, lh10, params.switch_int_min_interval);
+        b.set_dci(dcis[1], lh10, lh01, params.switch_int_min_interval);
+
+        TwoDcTopology {
+            net: b.build(),
+            params,
+            servers,
+            leaves,
+            spines,
+            dcis,
+            long_haul: [lh01, lh10],
+            dci_to_spine,
+            spine_to_dci,
+        }
+    }
+
+    /// Server `i` of 1-based rack number `rack` (paper numbering: racks
+    /// 1–4 are DC0, racks 5–8 are DC1).
+    pub fn server(&self, rack: usize, i: usize) -> NodeId {
+        assert!((1..=2 * self.params.leaves_per_dc).contains(&rack));
+        let dc = (rack - 1) / self.params.leaves_per_dc;
+        let leaf = (rack - 1) % self.params.leaves_per_dc;
+        self.servers[dc][leaf][i]
+    }
+
+    /// All servers in one DC, flattened.
+    pub fn dc_servers(&self, dc: usize) -> Vec<NodeId> {
+        self.servers[dc].iter().flatten().copied().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Testbed dumbbell (§4.6).
+// ---------------------------------------------------------------------------
+
+/// Parameters of the testbed dumbbell.
+#[derive(Clone, Copy, Debug)]
+pub struct DumbbellParams {
+    pub servers_per_tor: usize,
+    pub nic_link: Bandwidth,
+    pub fabric_link: Bandwidth,
+    pub long_haul_delay: Time,
+    pub tor_buffer: u64,
+    pub dci_buffer: u64,
+    pub mtu_payload: u32,
+}
+
+impl Default for DumbbellParams {
+    fn default() -> Self {
+        DumbbellParams {
+            servers_per_tor: 2,
+            nic_link: 100 * GBPS,
+            fabric_link: 100 * GBPS,
+            long_haul_delay: 1 * MS,
+            tor_buffer: 22_000_000,
+            dci_buffer: 128_000_000,
+            mtu_payload: 1000,
+        }
+    }
+}
+
+/// Handles into the dumbbell network.
+pub struct DumbbellTopology {
+    pub net: Network,
+    pub params: DumbbellParams,
+    /// `servers[side][i]`.
+    pub servers: Vec<Vec<NodeId>>,
+    pub tors: [NodeId; 2],
+    pub dcis: [NodeId; 2],
+    pub long_haul: [LinkId; 2],
+    pub dci_to_tor: [LinkId; 2],
+}
+
+impl DumbbellTopology {
+    pub fn build(params: DumbbellParams) -> Self {
+        let mut b = NetBuilder::new(params.mtu_payload);
+        let mut servers = Vec::new();
+        let mut tors = Vec::new();
+        let mut dcis = Vec::new();
+        let mut dci_to_tor = Vec::new();
+        for _side in 0..2 {
+            let tor = b.add_switch(SwitchKind::Leaf, params.tor_buffer, PfcConfig::dc_switch());
+            let dci = b.add_switch(SwitchKind::Dci, params.dci_buffer, PfcConfig::disabled());
+            let side_servers: Vec<NodeId> = (0..params.servers_per_tor)
+                .map(|_| {
+                    let h = b.add_host();
+                    b.connect(h, tor, params.nic_link, 1 * US, LinkOpts::default());
+                    h
+                })
+                .collect();
+            let (_t2d, d2t) = b.connect(tor, dci, params.fabric_link, 5 * US, LinkOpts::default());
+            b.enable_pfq(d2t, params.nic_link);
+            b.set_link_ecn(d2t, EcnConfig::dci_switch());
+            servers.push(side_servers);
+            tors.push(tor);
+            dcis.push(dci);
+            dci_to_tor.push(d2t);
+        }
+        let (lh01, lh10) = b.connect(
+            dcis[0],
+            dcis[1],
+            params.fabric_link,
+            params.long_haul_delay,
+            LinkOpts {
+                int_enabled: true,
+                int_is_dci: true,
+                long_haul: true,
+                ecn: Some(EcnConfig::dci_switch()),
+            },
+        );
+        b.set_dci(dcis[0], lh01, lh10, 4 * US);
+        b.set_dci(dcis[1], lh10, lh01, 4 * US);
+        DumbbellTopology {
+            net: b.build(),
+            params,
+            servers,
+            tors: [tors[0], tors[1]],
+            dcis: [dcis[0], dcis[1]],
+            long_haul: [lh01, lh10],
+            dci_to_tor: [dci_to_tor[0], dci_to_tor[1]],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> TwoDcParams {
+        TwoDcParams {
+            servers_per_leaf: 2,
+            ..TwoDcParams::default()
+        }
+    }
+
+    #[test]
+    fn two_dc_counts() {
+        let t = TwoDcTopology::build(small_params());
+        // Per DC: 4 leaves + 2 spines + 1 DCI + 8 servers = 15 nodes.
+        assert_eq!(t.net.nodes.len(), 30);
+        assert_eq!(t.net.hosts.len(), 16);
+        assert_eq!(t.dcis.len(), 2);
+        // Links: per DC, 8 server pairs + 4*2 leaf-spine pairs + 2
+        // spine-DCI pairs = 18 pairs → 36 links; ×2 DCs + 2 long-haul.
+        assert_eq!(t.net.links.len(), 2 * 36 + 2);
+    }
+
+    #[test]
+    fn rack_numbering_matches_paper() {
+        let t = TwoDcTopology::build(small_params());
+        // Rack 1 is DC0 leaf 0; rack 5 is DC1 leaf 0.
+        assert_eq!(t.server(1, 0), t.servers[0][0][0]);
+        assert_eq!(t.server(5, 1), t.servers[1][0][1]);
+        assert_eq!(t.server(8, 0), t.servers[1][3][0]);
+    }
+
+    #[test]
+    fn dci_roles_are_wired() {
+        let t = TwoDcTopology::build(small_params());
+        let sw0 = t.net.nodes[t.dcis[0].index()].as_switch().unwrap();
+        assert!(sw0.is_long_haul_egress(t.long_haul[0]));
+        assert!(sw0.is_long_haul_ingress(t.long_haul[1]));
+        let sw1 = t.net.nodes[t.dcis[1].index()].as_switch().unwrap();
+        assert!(sw1.is_long_haul_egress(t.long_haul[1]));
+        assert!(sw1.is_long_haul_ingress(t.long_haul[0]));
+    }
+
+    #[test]
+    fn pfq_on_dci_to_spine_egresses() {
+        let t = TwoDcTopology::build(small_params());
+        for dc in 0..2 {
+            for &l in &t.dci_to_spine[dc] {
+                assert!(t.net.links[l.index()].pfq.is_some());
+            }
+            for &l in &t.spine_to_dci[dc] {
+                assert!(t.net.links[l.index()].pfq.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn routes_cross_dc_exist() {
+        let t = TwoDcTopology::build(small_params());
+        let src = t.server(1, 0);
+        let dst = t.server(6, 0);
+        // From the source host there is exactly one way out.
+        let c = t.net.routes.candidates(src, dst);
+        assert_eq!(c.len(), 1);
+        // From the source leaf there are two spine choices.
+        let leaf = t.leaves[0][0];
+        assert_eq!(t.net.routes.candidates(leaf, dst).len(), 2);
+    }
+
+    #[test]
+    fn host_uplinks_assigned() {
+        let t = TwoDcTopology::build(small_params());
+        for &h in &t.net.hosts {
+            let host = t.net.nodes[h.index()].as_host().unwrap();
+            assert_ne!(host.uplink, LinkId(u32::MAX));
+            assert_eq!(t.net.links[host.uplink.index()].src, h);
+        }
+    }
+
+    #[test]
+    fn dumbbell_counts() {
+        let d = DumbbellTopology::build(DumbbellParams::default());
+        // 2 sides × (1 ToR + 1 DCI + 2 servers) = 8 nodes.
+        assert_eq!(d.net.nodes.len(), 8);
+        // Per side: 2 server pairs + 1 tor-dci pair = 3 pairs = 6 links;
+        // ×2 sides + 2 long-haul = 14.
+        assert_eq!(d.net.links.len(), 14);
+        assert!(d.net.links[d.dci_to_tor[0].index()].pfq.is_some());
+    }
+}

@@ -1,0 +1,202 @@
+//! Flight recorder: an optional, bounded, filterable event trace.
+//!
+//! Congestion-control bugs in a packet simulator are miserable to debug
+//! from aggregates alone. The tracer records a compact record per
+//! noteworthy event — flow lifecycle, drops, PFC transitions, per-flow
+//! packet milestones — into a bounded ring, optionally filtered to one
+//! flow. It is off by default and costs one branch per hook when off.
+
+use std::collections::VecDeque;
+
+use crate::types::{FlowId, LinkId, NodeId};
+use crate::units::{to_micros, Time};
+
+/// One trace record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    FlowStarted {
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u64,
+    },
+    FlowCompleted {
+        flow: FlowId,
+        fct: Time,
+    },
+    PacketDropped {
+        flow: FlowId,
+        at: NodeId,
+    },
+    PfcPause {
+        at: NodeId,
+        ingress: LinkId,
+    },
+    PfcResume {
+        at: NodeId,
+        ingress: LinkId,
+    },
+    Retransmit {
+        flow: FlowId,
+        from_seq: u64,
+    },
+    /// The receiver-side DCI created a new per-flow queue.
+    PfqCreated {
+        flow: FlowId,
+        link: LinkId,
+    },
+}
+
+/// A timestamped record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceRecord {
+    pub t: Time,
+    pub event: TraceEvent,
+}
+
+/// Bounded, optionally flow-filtered trace.
+#[derive(Debug)]
+pub struct Trace {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    /// Restrict flow-scoped events to this flow (node-scoped events like
+    /// PFC are always kept).
+    pub flow_filter: Option<FlowId>,
+    /// Records discarded because the ring was full.
+    pub dropped_records: u64,
+}
+
+impl Trace {
+    /// A trace holding up to `capacity` records (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity: capacity.max(1),
+            flow_filter: None,
+            dropped_records: 0,
+        }
+    }
+
+    /// Keep only events of `flow` (plus node-scoped events).
+    pub fn with_flow_filter(mut self, flow: FlowId) -> Self {
+        self.flow_filter = Some(flow);
+        self
+    }
+
+    fn admits(&self, event: &TraceEvent) -> bool {
+        let Some(want) = self.flow_filter else {
+            return true;
+        };
+        match event {
+            TraceEvent::FlowStarted { flow, .. }
+            | TraceEvent::FlowCompleted { flow, .. }
+            | TraceEvent::PacketDropped { flow, .. }
+            | TraceEvent::Retransmit { flow, .. }
+            | TraceEvent::PfqCreated { flow, .. } => *flow == want,
+            TraceEvent::PfcPause { .. } | TraceEvent::PfcResume { .. } => true,
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, t: Time, event: TraceEvent) {
+        if !self.admits(&event) {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped_records += 1;
+        }
+        self.records.push_back(TraceRecord { t, event });
+    }
+
+    /// The recorded events, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Count of records matching a predicate.
+    pub fn count<F: Fn(&TraceEvent) -> bool>(&self, f: F) -> usize {
+        self.records.iter().filter(|r| f(&r.event)).count()
+    }
+
+    /// Render as one line per record (µs timestamps).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("{:>12.3}µs  {:?}\n", to_micros(r.t), r.event));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn started(f: u32) -> TraceEvent {
+        TraceEvent::FlowStarted {
+            flow: FlowId(f),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = Trace::new(16);
+        t.record(1_000_000, started(0));
+        t.record(2_000_000, TraceEvent::FlowCompleted { flow: FlowId(0), fct: 1_000_000 });
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(s.contains("FlowStarted"));
+        assert!(s.contains("FlowCompleted"));
+        assert!(s.contains("1.000µs"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(i, started(i as u32));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped_records, 2);
+        let first = t.records().next().unwrap();
+        assert_eq!(first.t, 2, "oldest two were evicted");
+    }
+
+    #[test]
+    fn flow_filter_keeps_node_events() {
+        let mut t = Trace::new(16).with_flow_filter(FlowId(7));
+        t.record(0, started(1)); // filtered out
+        t.record(1, started(7)); // kept
+        t.record(
+            2,
+            TraceEvent::PfcPause {
+                at: NodeId(3),
+                ingress: LinkId(0),
+            },
+        ); // node-scoped: kept
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::PfcPause { .. })), 1);
+    }
+
+    #[test]
+    fn count_predicate() {
+        let mut t = Trace::new(16);
+        t.record(0, TraceEvent::PacketDropped { flow: FlowId(0), at: NodeId(2) });
+        t.record(1, TraceEvent::PacketDropped { flow: FlowId(1), at: NodeId(2) });
+        t.record(2, TraceEvent::Retransmit { flow: FlowId(0), from_seq: 512 });
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::PacketDropped { .. })), 2);
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::Retransmit { .. })), 1);
+    }
+}

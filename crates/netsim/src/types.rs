@@ -1,0 +1,102 @@
+//! Identifier newtypes shared across the simulator.
+//!
+//! Everything in the fabric is addressed by small dense indices so the hot
+//! event loop is array lookups, never hashing.
+
+use std::fmt;
+
+/// Index of a node (host or switch) in the simulator's node table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Index of a unidirectional link in the simulator's link table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Index of a flow in the global flow table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FlowId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Packet priority class. The fabric runs two classes: control traffic
+/// (ACK/CNP/Switch-INT) is strictly served before data and is never paused
+/// by PFC, mirroring RoCE deployments that carry CNPs on a dedicated
+/// priority.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Priority {
+    /// Control plane: ACKs, CNPs, Switch-INT feedback.
+    Control,
+    /// Data plane: flow payload, subject to ECN and PFC.
+    Data,
+}
+
+impl Priority {
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Control => 0,
+            Priority::Data => 1,
+        }
+    }
+}
+
+/// Number of priority classes modelled per link.
+pub const NUM_PRIORITIES: usize = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(7).to_string(), "l7");
+        assert_eq!(FlowId(11).to_string(), "f11");
+    }
+
+    #[test]
+    fn priority_indices_are_dense() {
+        assert_eq!(Priority::Control.index(), 0);
+        assert_eq!(Priority::Data.index(), 1);
+        assert!(Priority::Control.index() < NUM_PRIORITIES);
+        assert!(Priority::Data.index() < NUM_PRIORITIES);
+    }
+}

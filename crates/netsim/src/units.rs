@@ -1,0 +1,185 @@
+//! Time and bandwidth units.
+//!
+//! The simulator runs on an integer **picosecond** clock. At 100 Gbps one
+//! byte serializes in 80 ps, so picoseconds keep per-packet serialization
+//! times exact and the whole simulation deterministic (no floating-point
+//! clock drift). A `u64` picosecond clock covers ~213 days of simulated
+//! time, far beyond any experiment in this repository.
+
+/// Simulation time in picoseconds since the start of the run.
+pub type Time = u64;
+
+/// One picosecond.
+pub const PS: Time = 1;
+/// One nanosecond in picoseconds.
+pub const NS: Time = 1_000;
+/// One microsecond in picoseconds.
+pub const US: Time = 1_000_000;
+/// One millisecond in picoseconds.
+pub const MS: Time = 1_000_000_000;
+/// One second in picoseconds.
+pub const SEC: Time = 1_000_000_000_000;
+
+/// Convert a time to fractional seconds (for reporting only).
+#[inline]
+pub fn to_secs(t: Time) -> f64 {
+    t as f64 / SEC as f64
+}
+
+/// Convert a time to fractional milliseconds (for reporting only).
+#[inline]
+pub fn to_millis(t: Time) -> f64 {
+    t as f64 / MS as f64
+}
+
+/// Convert a time to fractional microseconds (for reporting only).
+#[inline]
+pub fn to_micros(t: Time) -> f64 {
+    t as f64 / US as f64
+}
+
+/// Link or flow bandwidth in bits per second.
+///
+/// Stored as a plain `u64`; helper constructors exist for the common
+/// datacenter rates. 400 Gbps is `4e11`, comfortably inside `u64`.
+pub type Bandwidth = u64;
+
+/// One kilobit per second.
+pub const KBPS: Bandwidth = 1_000;
+/// One megabit per second.
+pub const MBPS: Bandwidth = 1_000_000;
+/// One gigabit per second.
+pub const GBPS: Bandwidth = 1_000_000_000;
+
+/// Serialization time of `bytes` at `bw` bits/s, in picoseconds.
+///
+/// Uses 128-bit intermediates so the result is exact for all realistic
+/// inputs (the numerator for a 128 MB burst is ~1e21, within `u128`).
+#[inline]
+pub fn tx_time(bytes: u64, bw: Bandwidth) -> Time {
+    debug_assert!(bw > 0, "zero bandwidth");
+    let num = (bytes as u128) * 8 * (SEC as u128);
+    (num / bw as u128) as Time
+}
+
+/// Number of bytes transferred in `dt` picoseconds at `bw` bits/s.
+#[inline]
+pub fn bytes_in(dt: Time, bw: Bandwidth) -> u64 {
+    let num = (dt as u128) * (bw as u128);
+    (num / (8 * SEC as u128)) as u64
+}
+
+/// Bandwidth-delay product in bytes for a rate and round-trip time.
+#[inline]
+pub fn bdp_bytes(bw: Bandwidth, rtt: Time) -> u64 {
+    bytes_in(rtt, bw)
+}
+
+/// Observed rate in bits/s given a byte count over an interval.
+///
+/// Returns 0 for an empty interval rather than dividing by zero: callers
+/// sampling telemetry may legitimately see two records with the same
+/// timestamp when packets coalesce.
+#[inline]
+pub fn rate_bps(bytes: u64, dt: Time) -> f64 {
+    if dt == 0 {
+        return 0.0;
+    }
+    (bytes as f64 * 8.0) * (SEC as f64 / dt as f64)
+}
+
+/// Pretty-print a bandwidth (reporting only).
+pub fn fmt_bw(bw: f64) -> String {
+    if bw >= 1e9 {
+        format!("{:.2} Gbps", bw / 1e9)
+    } else if bw >= 1e6 {
+        format!("{:.2} Mbps", bw / 1e6)
+    } else if bw >= 1e3 {
+        format!("{:.2} Kbps", bw / 1e3)
+    } else {
+        format!("{bw:.0} bps")
+    }
+}
+
+/// Pretty-print a byte count (reporting only).
+pub fn fmt_bytes(b: f64) -> String {
+    if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2} KB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(NS, 1_000 * PS);
+        assert_eq!(US, 1_000 * NS);
+        assert_eq!(MS, 1_000 * US);
+        assert_eq!(SEC, 1_000 * MS);
+    }
+
+    #[test]
+    fn tx_time_100g_byte() {
+        // One byte at 100 Gbps serializes in exactly 80 ps.
+        assert_eq!(tx_time(1, 100 * GBPS), 80);
+    }
+
+    #[test]
+    fn tx_time_mtu_25g() {
+        // 1048 bytes at 25 Gbps: 1048*8 / 25e9 s = 335.36 ns.
+        assert_eq!(tx_time(1048, 25 * GBPS), 335_360);
+    }
+
+    #[test]
+    fn tx_time_large_burst_exact() {
+        // 128 MB at 100 Gbps = 10.24 ms exactly (no overflow).
+        assert_eq!(tx_time(128_000_000, 100 * GBPS), 10_240 * US);
+    }
+
+    #[test]
+    fn bytes_in_round_trip() {
+        let bw = 25 * GBPS;
+        let dt = 3 * MS;
+        let b = bytes_in(dt, bw);
+        // 25e9 bps * 3e-3 s / 8 = 9_375_000 bytes.
+        assert_eq!(b, 9_375_000);
+        // And back: transferring that many bytes takes the original time.
+        assert_eq!(tx_time(b, bw), dt);
+    }
+
+    #[test]
+    fn bdp_matches_paper_example() {
+        // Cross-DC BDP at 25 Gbps with a 6 ms RTT is 18.75 MB — far above
+        // the 22 MB shared across a whole DC switch, which is the paper's
+        // motivation for PFC storms.
+        assert_eq!(bdp_bytes(25 * GBPS, 6 * MS), 18_750_000);
+    }
+
+    #[test]
+    fn rate_bps_reconstructs_bandwidth() {
+        let bytes = 1_000_000u64;
+        let bw = 40 * GBPS;
+        let dt = tx_time(bytes, bw);
+        let est = rate_bps(bytes, dt);
+        assert!((est - bw as f64).abs() / (bw as f64) < 1e-9);
+    }
+
+    #[test]
+    fn rate_bps_zero_interval() {
+        assert_eq!(rate_bps(1000, 0), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bw(25e9), "25.00 Gbps");
+        assert_eq!(fmt_bw(1.5e6), "1.50 Mbps");
+        assert_eq!(fmt_bytes(1_500_000.0), "1.50 MB");
+        assert_eq!(fmt_bytes(512.0), "512 B");
+    }
+}

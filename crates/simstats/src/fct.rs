@@ -1,0 +1,255 @@
+//! Flow-completion-time aggregation: the metrics behind Figs. 11–16.
+
+use netsim::flow::FctRecord;
+use netsim::units::{to_micros, Time};
+
+/// Exact percentile of a set of times (nearest-rank on a sorted copy).
+pub fn percentile(values: &mut [Time], p: f64) -> Time {
+    assert!((0.0..=100.0).contains(&p), "percentile {p}");
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    let n = values.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    values[rank.clamp(1, n) - 1]
+}
+
+/// Mean of a set of times.
+pub fn mean(values: &[Time]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
+}
+
+/// Jain's fairness index over a set of rates/allocations.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// The paper's flow-size buckets for the 99.9th-percentile breakdowns
+/// (Figs. 13–14): boundaries in bytes, labelled like the x-axes.
+pub const SIZE_BUCKETS: [(u64, &str); 6] = [
+    (10_000, "<10KB"),
+    (100_000, "10-100KB"),
+    (1_000_000, "0.1-1MB"),
+    (5_000_000, "1-5MB"),
+    (30_000_000, "5-30MB"),
+    (u64::MAX, ">30MB"),
+];
+
+/// Index of the size bucket a flow falls in.
+pub fn size_bucket(size_bytes: u64) -> usize {
+    SIZE_BUCKETS
+        .iter()
+        .position(|&(hi, _)| size_bytes < hi)
+        .unwrap_or(SIZE_BUCKETS.len() - 1)
+}
+
+/// Aggregated FCT statistics for one traffic class.
+#[derive(Clone, Debug, Default)]
+pub struct FctSummary {
+    pub count: usize,
+    pub avg_us: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub p999_us: f64,
+}
+
+impl FctSummary {
+    pub fn from_times(mut times: Vec<Time>) -> Self {
+        if times.is_empty() {
+            return FctSummary::default();
+        }
+        let avg = mean(&times);
+        let p50 = percentile(&mut times, 50.0);
+        let p99 = percentile(&mut times, 99.0);
+        let p999 = percentile(&mut times, 99.9);
+        FctSummary {
+            count: times.len(),
+            avg_us: avg / 1e6,
+            p50_us: to_micros(p50),
+            p99_us: to_micros(p99),
+            p999_us: to_micros(p999),
+        }
+    }
+}
+
+/// Full breakdown of a run's FCT records.
+#[derive(Clone, Debug, Default)]
+pub struct FctBreakdown {
+    pub all: FctSummary,
+    pub intra_dc: FctSummary,
+    pub cross_dc: FctSummary,
+    /// 99.9th percentile by size bucket, (label, µs, count), intra-DC.
+    pub intra_by_size: Vec<(&'static str, f64, usize)>,
+    /// Same, cross-DC.
+    pub cross_by_size: Vec<(&'static str, f64, usize)>,
+}
+
+impl FctBreakdown {
+    pub fn new(records: &[FctRecord]) -> Self {
+        let all: Vec<Time> = records.iter().map(|r| r.fct()).collect();
+        let intra: Vec<Time> = records.iter().filter(|r| !r.cross_dc).map(|r| r.fct()).collect();
+        let cross: Vec<Time> = records.iter().filter(|r| r.cross_dc).map(|r| r.fct()).collect();
+
+        let by_size = |cross_flag: bool| {
+            SIZE_BUCKETS
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, label))| {
+                    let mut times: Vec<Time> = records
+                        .iter()
+                        .filter(|r| r.cross_dc == cross_flag && size_bucket(r.size_bytes) == i)
+                        .map(|r| r.fct())
+                        .collect();
+                    let n = times.len();
+                    let p = if n == 0 {
+                        0.0
+                    } else {
+                        to_micros(percentile(&mut times, 99.9))
+                    };
+                    (label, p, n)
+                })
+                .collect::<Vec<_>>()
+        };
+
+        FctBreakdown {
+            all: FctSummary::from_times(all),
+            intra_dc: FctSummary::from_times(intra),
+            cross_dc: FctSummary::from_times(cross),
+            intra_by_size: by_size(false),
+            cross_by_size: by_size(true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::types::{FlowId, NodeId};
+    use netsim::units::US;
+
+    fn rec(fct_us: u64, size: u64, cross: bool) -> FctRecord {
+        FctRecord {
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: size,
+            start: 0,
+            finish: fct_us * US,
+            cross_dc: cross,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v: Vec<Time> = (1..=100).collect();
+        assert_eq!(percentile(&mut v, 50.0), 50);
+        assert_eq!(percentile(&mut v, 99.0), 99);
+        assert_eq!(percentile(&mut v, 100.0), 100);
+        assert_eq!(percentile(&mut v, 1.0), 1);
+    }
+
+    #[test]
+    fn percentile_matches_naive_definition() {
+        let mut v = vec![10, 20, 30, 40, 50];
+        // ceil(0.999*5)=5 → the max.
+        assert_eq!(percentile(&mut v, 99.9), 50);
+        let mut v2 = vec![7];
+        assert_eq!(percentile(&mut v2, 50.0), 7);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let mut v: Vec<Time> = vec![];
+        assert_eq!(percentile(&mut v, 99.0), 0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(jain_index(&[]), 1.0);
+        let b = FctBreakdown::new(&[]);
+        assert_eq!(b.all.count, 0);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One flow hogging everything among 4: index = 1/4.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_buckets_cover_everything() {
+        assert_eq!(size_bucket(0), 0);
+        assert_eq!(size_bucket(9_999), 0);
+        assert_eq!(size_bucket(10_000), 1);
+        assert_eq!(size_bucket(500_000), 2);
+        assert_eq!(size_bucket(3_000_000), 3);
+        assert_eq!(size_bucket(10_000_000), 4);
+        assert_eq!(size_bucket(u64::MAX - 1), 5);
+    }
+
+    #[test]
+    fn breakdown_separates_classes() {
+        let recs = vec![
+            rec(100, 5_000, false),
+            rec(200, 5_000, false),
+            rec(9_000, 2_000_000, true),
+        ];
+        let b = FctBreakdown::new(&recs);
+        assert_eq!(b.all.count, 3);
+        assert_eq!(b.intra_dc.count, 2);
+        assert_eq!(b.cross_dc.count, 1);
+        assert!((b.intra_dc.avg_us - 150.0).abs() < 1e-9);
+        assert!((b.cross_dc.avg_us - 9000.0).abs() < 1e-9);
+        // Bucket placement.
+        let (label, p, n) = b.cross_by_size[3];
+        assert_eq!(label, "1-5MB");
+        assert_eq!(n, 1);
+        assert!((p - 9000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_percentiles_ordered() {
+        let recs: Vec<FctRecord> = (1..=1000).map(|i| rec(i, 1000, false)).collect();
+        let b = FctBreakdown::new(&recs);
+        assert!(b.all.p50_us <= b.all.p99_us);
+        assert!(b.all.p99_us <= b.all.p999_us);
+        assert!(b.all.avg_us > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Percentile equals the sorted-array nearest-rank definition.
+        #[test]
+        fn percentile_vs_naive(mut xs in proptest::collection::vec(0u64..1_000_000, 1..300),
+                               p in 0.1f64..100.0) {
+            let mut copy = xs.clone();
+            let got = percentile(&mut xs, p);
+            copy.sort_unstable();
+            let rank = ((p / 100.0) * copy.len() as f64).ceil() as usize;
+            let want = copy[rank.clamp(1, copy.len()) - 1];
+            prop_assert_eq!(got, want);
+        }
+
+        /// Jain's index is always in (0, 1].
+        #[test]
+        fn jain_bounded(xs in proptest::collection::vec(0.0f64..1e9, 1..50)) {
+            let j = jain_index(&xs);
+            prop_assert!(j > 0.0 - 1e-12 && j <= 1.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Plain-text table rendering for the figure harness output.
+
+/// A simple fixed-width text table.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+/// CSV rendering of (x, series...) data for plotting.
+pub fn csv<T: std::fmt::Display>(headers: &[&str], rows: &[Vec<T>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["algo", "fct"]);
+        t.row(vec!["DCQCN", "120.5"]);
+        t.row(vec!["MLCC", "86.1"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[2].contains("DCQCN"));
+        // All rows have the same width.
+        assert_eq!(lines[2].trim_end().len(), lines[3].trim_end().len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let out = csv(&["t", "q"], &[vec![1, 10], vec![2, 20]]);
+        assert_eq!(out, "t,q\n1,10\n2,20\n");
+    }
+}

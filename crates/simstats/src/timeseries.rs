@@ -1,0 +1,191 @@
+//! Time-series utilities for monitor samples: time-weighted statistics,
+//! smoothing, and resampling. Used by the figure harness when condensing
+//! queue/throughput trajectories into reported numbers.
+
+use netsim::units::Time;
+
+/// Time-weighted mean of a step series `(t, value)`: each value holds
+/// from its timestamp to the next. The last sample gets zero weight
+/// (nothing is known after it).
+pub fn time_weighted_mean(series: &[(Time, f64)]) -> f64 {
+    if series.len() < 2 {
+        return series.first().map_or(0.0, |s| s.1);
+    }
+    let mut acc = 0.0;
+    let mut dur = 0.0;
+    for w in series.windows(2) {
+        let dt = (w[1].0 - w[0].0) as f64;
+        acc += w[0].1 * dt;
+        dur += dt;
+    }
+    if dur == 0.0 {
+        series[0].1
+    } else {
+        acc / dur
+    }
+}
+
+/// Exponential smoothing with weight `alpha` on the new sample.
+pub fn ewma(series: &[(Time, f64)], alpha: f64) -> Vec<(Time, f64)> {
+    assert!((0.0..=1.0).contains(&alpha));
+    let mut out = Vec::with_capacity(series.len());
+    let mut state: Option<f64> = None;
+    for &(t, v) in series {
+        let s = match state {
+            None => v,
+            Some(prev) => alpha * v + (1.0 - alpha) * prev,
+        };
+        state = Some(s);
+        out.push((t, s));
+    }
+    out
+}
+
+/// Peak value and its time.
+pub fn peak(series: &[(Time, f64)]) -> Option<(Time, f64)> {
+    series
+        .iter()
+        .copied()
+        .fold(None, |best: Option<(Time, f64)>, cur| match best {
+            Some(b) if b.1 >= cur.1 => Some(b),
+            _ => Some(cur),
+        })
+}
+
+/// First time the series crosses below `threshold` after having been at
+/// or above it — the "drained by" instant of queue trajectories.
+pub fn settles_below(series: &[(Time, f64)], threshold: f64) -> Option<Time> {
+    let mut was_above = false;
+    for &(t, v) in series {
+        if v >= threshold {
+            was_above = true;
+        } else if was_above {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Mean over the final `fraction` of the series (plain, per-sample).
+pub fn tail_mean(series: &[(Time, f64)], fraction: f64) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let n = series.len();
+    let k = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
+    let tail = &series[n - k..];
+    tail.iter().map(|s| s.1).sum::<f64>() / tail.len() as f64
+}
+
+/// Resample to a fixed interval with zero-order hold (step
+/// interpolation), from the first to the last timestamp.
+pub fn resample(series: &[(Time, f64)], interval: Time) -> Vec<(Time, f64)> {
+    assert!(interval > 0);
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut idx = 0;
+    let mut t = series[0].0;
+    let end = series.last().unwrap().0;
+    while t <= end {
+        while idx + 1 < series.len() && series[idx + 1].0 <= t {
+            idx += 1;
+        }
+        out.push((t, series[idx].1));
+        t += interval;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_weighted_vs_plain_mean() {
+        // Value 10 for 9 time units, then 0 for 1: weighted mean 9.
+        let s = vec![(0, 10.0), (9, 0.0), (10, 0.0)];
+        assert!((time_weighted_mean(&s) - 9.0).abs() < 1e-12);
+        // Plain mean would have been (10+0+0)/3 — very different.
+    }
+
+    #[test]
+    fn time_weighted_degenerate() {
+        assert_eq!(time_weighted_mean(&[]), 0.0);
+        assert_eq!(time_weighted_mean(&[(5, 7.0)]), 7.0);
+        assert_eq!(time_weighted_mean(&[(5, 7.0), (5, 9.0)]), 7.0);
+    }
+
+    #[test]
+    fn ewma_smooths_steps() {
+        let s = vec![(0, 0.0), (1, 10.0), (2, 10.0), (3, 10.0)];
+        let e = ewma(&s, 0.5);
+        assert_eq!(e[0].1, 0.0);
+        assert_eq!(e[1].1, 5.0);
+        assert_eq!(e[2].1, 7.5);
+        assert!(e[3].1 < 10.0 && e[3].1 > e[2].1);
+    }
+
+    #[test]
+    fn peak_and_settle() {
+        let s = vec![(0, 1.0), (1, 40.0), (2, 20.0), (3, 4.0), (4, 2.0)];
+        assert_eq!(peak(&s), Some((1, 40.0)));
+        assert_eq!(settles_below(&s, 5.0), Some(3));
+        assert_eq!(settles_below(&s, 0.5), None);
+        // Never above threshold → no settle event.
+        assert_eq!(settles_below(&s[4..], 100.0), None);
+    }
+
+    #[test]
+    fn tail_mean_fraction() {
+        let s: Vec<(Time, f64)> = (0..10).map(|i| (i, i as f64)).collect();
+        assert!((tail_mean(&s, 0.2) - 8.5).abs() < 1e-12);
+        assert!((tail_mean(&s, 1.0) - 4.5).abs() < 1e-12);
+        assert_eq!(tail_mean(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn resample_zero_order_hold() {
+        let s = vec![(0, 1.0), (25, 2.0), (100, 3.0)];
+        let r = resample(&s, 50);
+        assert_eq!(r, vec![(0, 1.0), (50, 2.0), (100, 3.0)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The time-weighted mean is bounded by the series' min and max.
+        #[test]
+        fn weighted_mean_bounded(vals in proptest::collection::vec(0.0f64..1e9, 2..50)) {
+            let series: Vec<(Time, f64)> =
+                vals.iter().enumerate().map(|(i, &v)| (i as Time * 7, v)).collect();
+            let m = time_weighted_mean(&series);
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(0.0f64, f64::max);
+            // Relative tolerance: acc/dur can differ from the exact mean
+            // by a few ULPs at 1e9 magnitudes.
+            let eps = 1e-9 * hi.max(1.0);
+            prop_assert!(m >= lo - eps && m <= hi + eps, "m {m}, lo {lo}, hi {hi}");
+        }
+
+        /// EWMA output stays within the input range and preserves length.
+        #[test]
+        fn ewma_bounded(vals in proptest::collection::vec(-1e6f64..1e6, 1..50),
+                        alpha in 0.01f64..1.0) {
+            let series: Vec<(Time, f64)> =
+                vals.iter().enumerate().map(|(i, &v)| (i as Time, v)).collect();
+            let e = ewma(&series, alpha);
+            prop_assert_eq!(e.len(), series.len());
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for (_, v) in e {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+}

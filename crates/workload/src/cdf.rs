@@ -1,0 +1,149 @@
+//! Empirical CDFs with inverse-transform sampling.
+
+use rand::Rng;
+
+/// A piecewise-linear empirical CDF over flow sizes (bytes).
+#[derive(Clone, Debug)]
+pub struct EmpiricalCdf {
+    /// (value, cumulative probability) points, strictly increasing in
+    /// both coordinates, ending at probability 1.
+    points: Vec<(f64, f64)>,
+}
+
+impl EmpiricalCdf {
+    /// Build from `(value, cumulative_percent)` rows (percent in 0–100,
+    /// the format of the classic ns-3 distribution files).
+    pub fn from_percent_table(rows: &[(f64, f64)]) -> Self {
+        assert!(rows.len() >= 2, "need at least two CDF points");
+        let points: Vec<(f64, f64)> = rows.iter().map(|&(v, p)| (v, p / 100.0)).collect();
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "values must increase: {:?}", w);
+            assert!(w[0].1 <= w[1].1, "probabilities must not decrease");
+        }
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9, "CDF must end at 1");
+        EmpiricalCdf { points }
+    }
+
+    /// Inverse-transform sample: map a uniform `u ∈ [0,1)` through the
+    /// piecewise-linear inverse CDF.
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let mut prev = self.points[0];
+        if u <= prev.1 {
+            return prev.0;
+        }
+        for &pt in &self.points[1..] {
+            if u <= pt.1 {
+                let span_p = pt.1 - prev.1;
+                if span_p <= 0.0 {
+                    return pt.0;
+                }
+                let frac = (u - prev.1) / span_p;
+                return prev.0 + frac * (pt.0 - prev.0);
+            }
+            prev = pt;
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// Draw one sample in bytes (at least 1).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        (self.quantile(rng.gen::<f64>()).round() as u64).max(1)
+    }
+
+    /// Analytic mean of the piecewise-linear distribution.
+    pub fn mean(&self) -> f64 {
+        let mut mean = self.points[0].0 * self.points[0].1;
+        for w in self.points.windows(2) {
+            let dp = w[1].1 - w[0].1;
+            mean += dp * (w[0].0 + w[1].0) / 2.0;
+        }
+        mean
+    }
+
+    /// Smallest and largest producible values.
+    pub fn support(&self) -> (f64, f64) {
+        (self.points[0].0, self.points.last().unwrap().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple() -> EmpiricalCdf {
+        EmpiricalCdf::from_percent_table(&[(0.0, 0.0), (100.0, 50.0), (200.0, 100.0)])
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let c = simple();
+        assert_eq!(c.quantile(0.0), 0.0);
+        assert_eq!(c.quantile(0.25), 50.0);
+        assert_eq!(c.quantile(0.5), 100.0);
+        assert_eq!(c.quantile(0.75), 150.0);
+        assert_eq!(c.quantile(1.0), 200.0);
+    }
+
+    #[test]
+    fn mean_matches_analytic() {
+        // Uniform on [0, 200]: mean 100.
+        let c = simple();
+        assert!((c.mean() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let c = simple();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| c.sample(&mut rng) as f64).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let c = simple();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (lo, hi) = c.support();
+        for _ in 0..10_000 {
+            let s = c.sample(&mut rng) as f64;
+            assert!(s >= lo.max(1.0) && s <= hi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "values must increase")]
+    fn rejects_non_monotone_values() {
+        EmpiricalCdf::from_percent_table(&[(10.0, 0.0), (5.0, 100.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CDF must end at 1")]
+    fn rejects_incomplete_cdf() {
+        EmpiricalCdf::from_percent_table(&[(0.0, 0.0), (10.0, 90.0)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The quantile function is monotone and bounded by the support.
+        #[test]
+        fn quantile_monotone(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+            let c = EmpiricalCdf::from_percent_table(&[
+                (1.0, 0.0), (100.0, 30.0), (10_000.0, 80.0), (1_000_000.0, 100.0),
+            ]);
+            let (lo, hi) = (u1.min(u2), u1.max(u2));
+            let (qlo, qhi) = (c.quantile(lo), c.quantile(hi));
+            prop_assert!(qlo <= qhi + 1e-9);
+            prop_assert!(qlo >= 1.0 - 1e-9 && qhi <= 1_000_000.0 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's two traffic mixes.
+//!
+//! * **WebSearch** — the DCTCP web-search flow-size distribution
+//!   (Alizadeh et al., SIGCOMM 2010), heavy-tailed with a multi-megabyte
+//!   tail; the table below is the classic ns-3 `WebSearch_distribution`
+//!   used by HPCC and its successors.
+//! * **Hadoop** — Facebook's Hadoop-cluster distribution (Roy et al.,
+//!   SIGCOMM 2015), dominated by sub-10 KB flows with a sparse large
+//!   tail; the ns-3 `FbHdp_distribution` table.
+
+use crate::cdf::EmpiricalCdf;
+
+/// Which distribution to draw flow sizes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TrafficMix {
+    WebSearch,
+    Hadoop,
+    /// Extension beyond the paper: the Alibaba block-storage mix
+    /// (AliStorage 2019), extremely small-flow heavy — useful for
+    /// stressing the per-packet control paths.
+    AliStorage,
+}
+
+impl TrafficMix {
+    /// The paper's two mixes (the evaluation sweeps these).
+    pub const ALL: [TrafficMix; 2] = [TrafficMix::WebSearch, TrafficMix::Hadoop];
+    /// Including extensions.
+    pub const EXTENDED: [TrafficMix; 3] = [
+        TrafficMix::WebSearch,
+        TrafficMix::Hadoop,
+        TrafficMix::AliStorage,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficMix::WebSearch => "WebSearch",
+            TrafficMix::Hadoop => "Hadoop",
+            TrafficMix::AliStorage => "AliStorage",
+        }
+    }
+
+    /// Build the CDF.
+    pub fn cdf(self) -> EmpiricalCdf {
+        match self {
+            TrafficMix::WebSearch => EmpiricalCdf::from_percent_table(&[
+                (1.0, 0.0),
+                (10_000.0, 15.0),
+                (20_000.0, 20.0),
+                (30_000.0, 30.0),
+                (50_000.0, 40.0),
+                (80_000.0, 53.0),
+                (200_000.0, 60.0),
+                (1_000_000.0, 70.0),
+                (2_000_000.0, 80.0),
+                (5_000_000.0, 90.0),
+                (10_000_000.0, 97.0),
+                (30_000_000.0, 100.0),
+            ]),
+            TrafficMix::AliStorage => EmpiricalCdf::from_percent_table(&[
+                (1.0, 0.0),
+                (4_000.0, 25.0),
+                (8_000.0, 50.0),
+                (16_000.0, 70.0),
+                (32_000.0, 80.0),
+                (64_000.0, 90.0),
+                (256_000.0, 95.0),
+                (2_000_000.0, 99.0),
+                (8_000_000.0, 100.0),
+            ]),
+            TrafficMix::Hadoop => EmpiricalCdf::from_percent_table(&[
+                (1.0, 0.0),
+                (180.0, 10.0),
+                (216.0, 20.0),
+                (560.0, 30.0),
+                (900.0, 40.0),
+                (1_100.0, 50.0),
+                (1_870.0, 60.0),
+                (3_160.0, 70.0),
+                (10_000.0, 80.0),
+                (400_000.0, 90.0),
+                (3_160_000.0, 95.0),
+                (10_000_000.0, 100.0),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn websearch_is_megabyte_scale() {
+        let m = TrafficMix::WebSearch.cdf().mean();
+        assert!(m > 1e6 && m < 3e6, "WebSearch mean {m}");
+    }
+
+    #[test]
+    fn hadoop_is_mostly_small() {
+        let cdf = TrafficMix::Hadoop.cdf();
+        // 80% of flows are ≤ 10 KB.
+        assert!(cdf.quantile(0.80) <= 10_000.0);
+        // But the mean is dominated by the tail.
+        assert!(cdf.mean() > 50_000.0, "mean {}", cdf.mean());
+    }
+
+    #[test]
+    fn websearch_heavier_than_hadoop() {
+        assert!(TrafficMix::WebSearch.cdf().mean() > TrafficMix::Hadoop.cdf().mean());
+    }
+
+    #[test]
+    fn sampling_tail_appears() {
+        let cdf = TrafficMix::WebSearch.cdf();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen_large = false;
+        let mut seen_small = false;
+        for _ in 0..10_000 {
+            let s = cdf.sample(&mut rng);
+            seen_large |= s > 5_000_000;
+            seen_small |= s < 50_000;
+        }
+        assert!(seen_large && seen_small, "both tail ends must appear");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TrafficMix::WebSearch.name(), "WebSearch");
+        assert_eq!(TrafficMix::Hadoop.name(), "Hadoop");
+        assert_eq!(TrafficMix::ALL.len(), 2, "the paper sweeps two mixes");
+        assert_eq!(TrafficMix::EXTENDED.len(), 3);
+    }
+
+    #[test]
+    fn alistorage_is_small_flow_heavy() {
+        let cdf = TrafficMix::AliStorage.cdf();
+        assert!(cdf.quantile(0.5) <= 8_000.0, "median ≤ 8 KB");
+        assert!(cdf.mean() < TrafficMix::Hadoop.cdf().mean());
+        // But still heavy enough in the tail to matter.
+        assert!(cdf.quantile(0.999) > 1_000_000.0);
+    }
+}

@@ -1,0 +1,24 @@
+#![allow(clippy::identity_op)] // `1 * MS` reads better than `MS` in timing code
+
+//! # workload — datacenter traffic generation
+//!
+//! The paper evaluates over two empirical flow-size mixes (WebSearch and
+//! Facebook-Hadoop) injected as Poisson arrivals at a target load, split
+//! into intra-datacenter and cross-datacenter traffic classes. This crate
+//! provides:
+//!
+//! * [`cdf::EmpiricalCdf`] — piecewise-linear inverse-CDF sampling;
+//! * [`dists::TrafficMix`] — the WebSearch and Hadoop tables;
+//! * [`traffic::TrafficGen`] — Poisson arrivals over sender/receiver
+//!   sets, with the standard "fraction of aggregate NIC capacity" load
+//!   definition.
+
+pub mod cdf;
+pub mod dists;
+pub mod incast;
+pub mod traffic;
+
+pub use cdf::EmpiricalCdf;
+pub use dists::TrafficMix;
+pub use incast::{request_completion_times, IncastPattern};
+pub use traffic::{offered_load, FlowRequest, TrafficClass, TrafficGen};

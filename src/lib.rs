@@ -1,0 +1,22 @@
+#![allow(clippy::identity_op)] // `1 * MS` reads better than `MS` in timing code
+
+//! # mlcc-repro — reproduction of "Efficient Cross-Datacenter Congestion
+//! # Control with Fast Control Loops" (ICPP 2025)
+//!
+//! This umbrella crate re-exports the workspace members so the examples
+//! and integration tests have one import root:
+//!
+//! * [`netsim`] — the packet-level RoCE datacenter simulator substrate;
+//! * [`mlcc_core`] — MLCC itself (near-source loop, credit loop, DQM);
+//! * [`cc_baselines`] — DCQCN, Timely, HPCC, PowerTCP;
+//! * [`workload`] — WebSearch/Hadoop Poisson traffic generation;
+//! * [`simstats`] — FCT aggregation and reporting.
+//!
+//! See `README.md` for a tour and `crates/bench` for the per-figure
+//! reproduction harness.
+
+pub use cc_baselines;
+pub use mlcc_core;
+pub use netsim;
+pub use simstats;
+pub use workload;
