@@ -1,0 +1,181 @@
+//! Performance harness for the simulator engine and the figure
+//! scenarios, on plain `std::time::Instant` — no external bench
+//! framework, so `cargo bench` works fully offline.
+//!
+//! Each benchmark runs a warmup pass, then `ITERS` timed iterations,
+//! and reports min / median / mean wall time (median is the headline:
+//! robust to scheduler noise in both directions). A result value from
+//! every iteration is folded into a checksum printed with the timing,
+//! which both defeats dead-code elimination and doubles as a smoke
+//! check that every scenario still runs.
+//!
+//! Filter by substring: `cargo bench --bench perf -- pfq`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use mlcc_bench::scenarios::convergence::{run as conv_run, Bottleneck};
+use mlcc_bench::scenarios::large_scale::{run as ls_run, LargeScaleConfig};
+use mlcc_bench::scenarios::motivation::{experiment1, experiment2, experiment3};
+use mlcc_bench::scenarios::testbed::run as testbed_run;
+use mlcc_bench::Algo;
+use mlcc_core::MlccParams;
+use netsim::prelude::*;
+use workload::TrafficMix;
+
+const ITERS: usize = 5;
+
+/// Time `f` (returning a u64 folded into the checksum) and print a row.
+fn bench(filter: &str, name: &str, mut f: impl FnMut() -> u64) {
+    if !name.contains(filter) {
+        return;
+    }
+    let mut checksum = f(); // warmup
+    let mut times: Vec<Duration> = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        // Rotate between folds so identical per-iteration values (the
+        // common case: runs are deterministic) don't cancel to zero.
+        checksum = checksum.rotate_left(1) ^ black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{name:<40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  (checksum {checksum:#x})",
+        min, median, mean
+    );
+}
+
+/// One flow through a 2-host line network (NoCc): raw packet-event
+/// throughput of the event loop.
+fn line_transfer(size: u64) -> u64 {
+    let mut b = NetBuilder::new(1000);
+    let h0 = b.add_host();
+    let h1 = b.add_host();
+    let s = b.add_switch(SwitchKind::Leaf, 22_000_000, PfcConfig::dc_switch());
+    b.connect(h0, s, 25 * GBPS, US, LinkOpts::default());
+    b.connect(h1, s, 25 * GBPS, US, LinkOpts::default());
+    let mut sim = Simulator::new(b.build(), SimConfig::default(), Box::new(NoCcFactory));
+    sim.add_flow(h0, h1, size, 0);
+    assert!(sim.run_until_flows_complete());
+    sim.out.events_processed
+}
+
+fn main() {
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+
+    println!("# engine");
+    bench(&filter, "engine/line_10mb_events", || {
+        line_transfer(10_000_000)
+    });
+    bench(&filter, "engine/pfq_enqueue_dequeue_16_flows", || {
+        use netsim::packet::Packet;
+        use netsim::pfq::{PfqDequeue, PfqSet};
+        let mut total = 0u64;
+        let mut set = PfqSet::new(100 * GBPS, 1048);
+        let mut now = 0;
+        let mut id = 0;
+        for round in 0..64u64 {
+            for f in 0..16u32 {
+                id += 1;
+                set.enqueue(
+                    Packet::data(id, FlowId(f), NodeId(0), NodeId(1), 0, 1000, now),
+                    now,
+                );
+            }
+            now += round * 1000;
+            while let PfqDequeue::Packet(p) = set.dequeue(now) {
+                total += p.size as u64;
+            }
+        }
+        total + set.total_bytes()
+    });
+    bench(&filter, "engine/routing_two_dc_8_per_leaf", || {
+        let topo = TwoDcTopology::build(TwoDcParams {
+            servers_per_leaf: 8,
+            ..TwoDcParams::default()
+        });
+        topo.net.links.len() as u64
+    });
+    bench(&filter, "engine/int_hop_history_max_util", || {
+        use netsim::int::{HopHistory, IntHop, IntStack};
+        let mut h = HopHistory::new();
+        let mut acc = 0u64;
+        let mut ts = 0;
+        for _ in 0..10_000 {
+            ts += 1000;
+            let mut s = IntStack::new();
+            for hop in 0..5 {
+                s.push(IntHop {
+                    hop_id: hop,
+                    ts,
+                    qlen_bytes: 1000,
+                    tx_bytes: ts,
+                    link_bps: 100 * GBPS,
+                    is_dci: false,
+                });
+            }
+            acc ^= h
+                .max_utilization(&s, 10 * US, |_| true)
+                .map_or(0, |u| u.to_bits());
+        }
+        acc
+    });
+
+    println!("# motivation");
+    bench(&filter, "motivation/fig02_exp1_dcqcn", || {
+        experiment1(Algo::Dcqcn, 6 * MS).pfc_total
+    });
+    bench(&filter, "motivation/fig03_exp2_dcqcn", || {
+        experiment2(Algo::Dcqcn, 6 * MS).pfc_total
+    });
+    bench(&filter, "motivation/fig04_exp3_dcqcn", || {
+        experiment3(Algo::Dcqcn, 8 * MS).pfc_total
+    });
+
+    println!("# convergence");
+    bench(&filter, "convergence/fig07_sender_side_mlcc", || {
+        conv_run(
+            Algo::Mlcc,
+            Bottleneck::SenderSide,
+            true,
+            10 * MS,
+            MlccParams::default(),
+        )
+        .jain_final
+        .to_bits()
+    });
+    bench(&filter, "convergence/fig08_receiver_side_mlcc", || {
+        conv_run(
+            Algo::Mlcc,
+            Bottleneck::ReceiverSide,
+            true,
+            10 * MS,
+            MlccParams::default(),
+        )
+        .jain_final
+        .to_bits()
+    });
+
+    println!("# large_scale");
+    let mut cfg = LargeScaleConfig::heavy(TrafficMix::Hadoop);
+    cfg.duration = 5 * MS;
+    cfg.drain = 60 * MS;
+    bench(&filter, "large_scale/fig11_hadoop_heavy_mlcc_5ms", || {
+        ls_run(Algo::Mlcc, cfg).flows_completed as u64
+    });
+    bench(&filter, "large_scale/fig11_hadoop_heavy_dcqcn_5ms", || {
+        ls_run(Algo::Dcqcn, cfg).flows_completed as u64
+    });
+
+    println!("# testbed");
+    bench(&filter, "testbed/fig16_dumbbell_mlcc_10ms", || {
+        testbed_run(Algo::Mlcc, 0.3, 10 * MS, 1).flows_completed as u64
+    });
+}

@@ -101,7 +101,11 @@ fn main() {
     let by = |label: &str| results.iter().find(|r| r.label == label).unwrap();
     let full = by("MLCC (full)");
     for r in &results {
-        assert_eq!(r.flows_completed, r.flows_total, "{} must complete", r.label);
+        assert_eq!(
+            r.flows_completed, r.flows_total,
+            "{} must complete",
+            r.label
+        );
     }
     // Each removed loop must cost something relative to the full design
     // on at least one of the headline metrics.

@@ -20,7 +20,10 @@ fn main() {
     );
 
     for (algo, r) in &results {
-        println!("# Fig 2 ({}): avg throughput per group (Gbps) + bottleneck queue (MB)", algo.name());
+        println!(
+            "# Fig 2 ({}): avg throughput per group (Gbps) + bottleneck queue (MB)",
+            algo.name()
+        );
         println!("time_ms,intra_gbps,cross_gbps,leaf_queue_mb");
         let n = r.group_a_gbps.len();
         for (_, i) in downsample(&(0..n).map(|i| (i as u64, i)).collect::<Vec<_>>(), 40) {
@@ -70,8 +73,14 @@ fn main() {
         );
     }
     let dcqcn = &results[0].1;
-    assert!(dcqcn.pfc_total > 0, "DCQCN: cross burst must trigger PFC at the receiver DC");
+    assert!(
+        dcqcn.pfc_total > 0,
+        "DCQCN: cross burst must trigger PFC at the receiver DC"
+    );
     let first = dcqcn.pfc_events.first().map(|&(t, _)| t).unwrap();
-    assert!(first >= 2 * MS, "PFC should fire only after the cross flows arrive");
+    assert!(
+        first >= 2 * MS,
+        "PFC should fire only after the cross flows arrive"
+    );
     println!("SHAPE OK: cross-DC burst triggers PFC (DCQCN) and collapses intra throughput (both)");
 }

@@ -18,7 +18,10 @@ fn main() {
     );
 
     for (algo, r) in &results {
-        println!("# Fig 4 ({}): receiver-side DCI queue (MB) + per-group throughput (Gbps)", algo.name());
+        println!(
+            "# Fig 4 ({}): receiver-side DCI queue (MB) + per-group throughput (Gbps)",
+            algo.name()
+        );
         println!("time_ms,dci_queue_mb,rack1_gbps,rack4_gbps");
         let n = r.group_a_gbps.len();
         for (_, i) in downsample(&(0..n).map(|i| (i as u64, i)).collect::<Vec<_>>(), 45) {
@@ -65,5 +68,7 @@ fn main() {
             algo.name()
         );
     }
-    println!("SHAPE OK: deep DCI buffers hide congestion until the queue is megabytes, then oscillate");
+    println!(
+        "SHAPE OK: deep DCI buffers hide congestion until the queue is megabytes, then oscillate"
+    );
 }

@@ -34,17 +34,18 @@ fn main() {
     );
 
     for (simultaneous, r) in &results {
-        let label = if *simultaneous { "simultaneous" } else { "sequential" };
+        let label = if *simultaneous {
+            "simultaneous"
+        } else {
+            "sequential"
+        };
         println!("# Fig 7 ({label}): per-flow throughput (Gbps)");
         println!("time_ms,flow0,flow1,flow2,flow3");
         let n = r.flow_throughput[0].len();
-        let idxs: Vec<usize> = downsample(
-            &(0..n).map(|i| (i as u64, i)).collect::<Vec<_>>(),
-            60,
-        )
-        .iter()
-        .map(|&(_, i)| i)
-        .collect();
+        let idxs: Vec<usize> = downsample(&(0..n).map(|i| (i as u64, i)).collect::<Vec<_>>(), 60)
+            .iter()
+            .map(|&(_, i)| i)
+            .collect();
         for i in idxs {
             let t = r.flow_throughput[0][i].0;
             let row: Vec<String> = r
@@ -56,7 +57,10 @@ fn main() {
         }
         println!(
             "# final rates (Gbps): {:?}",
-            r.final_rates.iter().map(|x| (x / 1e8).round() / 10.0).collect::<Vec<_>>()
+            r.final_rates
+                .iter()
+                .map(|x| (x / 1e8).round() / 10.0)
+                .collect::<Vec<_>>()
         );
         println!("# Jain fairness index (last quarter): {:.4}", r.jain_final);
         println!("# PFC pauses: {}", r.pfc_pauses);
@@ -64,7 +68,10 @@ fn main() {
     }
 
     // Paper-shape checks.
-    for (label, r) in results.iter().map(|(s, r)| (if *s { "simultaneous" } else { "sequential" }, r)) {
+    for (label, r) in results
+        .iter()
+        .map(|(s, r)| (if *s { "simultaneous" } else { "sequential" }, r))
+    {
         assert!(
             r.jain_final > 0.9,
             "Fig7 {label}: flows must converge to fairness (jain = {})",

@@ -36,7 +36,11 @@ fn main() {
     );
 
     for (simultaneous, r) in &results {
-        let label = if *simultaneous { "simultaneous" } else { "sequential" };
+        let label = if *simultaneous {
+            "simultaneous"
+        } else {
+            "sequential"
+        };
         println!("# Fig 8 ({label}): per-flow throughput (Gbps) and DCI queue (MB)");
         println!("time_ms,flow0,flow1,flow2,flow3,dci_queue_mb");
         let q = &r.dci_queue;
@@ -52,12 +56,21 @@ fn main() {
             let qmb = q[(i + 1).min(q.len() - 1)].1 as f64 / 1e6;
             println!("{:.2},{},{:.2}", to_millis(t), row.join(","), qmb);
         }
-        println!("# final rates (Gbps): {:?}", r.final_rates.iter().map(|x| (x / 1e8).round() / 10.0).collect::<Vec<_>>());
+        println!(
+            "# final rates (Gbps): {:?}",
+            r.final_rates
+                .iter()
+                .map(|x| (x / 1e8).round() / 10.0)
+                .collect::<Vec<_>>()
+        );
         println!("# Jain: {:.4}   PFC pauses: {}", r.jain_final, r.pfc_pauses);
         println!();
     }
 
-    for (label, r) in results.iter().map(|(s, r)| (if *s { "simultaneous" } else { "sequential" }, r)) {
+    for (label, r) in results
+        .iter()
+        .map(|(s, r)| (if *s { "simultaneous" } else { "sequential" }, r))
+    {
         assert!(r.jain_final > 0.9, "Fig8 {label}: jain {}", r.jain_final);
         let sum: f64 = r.final_rates.iter().sum();
         assert!(

@@ -86,6 +86,10 @@ fn main() {
         );
     }
     // θ=18ms settles into a small standing queue near the D_t target.
-    assert!(tail(&results[1]) < 8.0, "theta=18ms tail {:.2} MB", tail(&results[1]));
+    assert!(
+        tail(&results[1]) < 8.0,
+        "theta=18ms tail {:.2} MB",
+        tail(&results[1])
+    );
     println!("SHAPE OK: DQM drains the burst for every theta; 18 ms settles near the D_t target");
 }

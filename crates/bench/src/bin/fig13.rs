@@ -31,11 +31,10 @@ fn main() {
             .collect(),
     );
 
-    for (class, pick) in [
-        ("intra-DC", 0usize),
-        ("cross-DC", 1usize),
-    ] {
-        println!("# Fig 13 ({class}): 99.9th percentile FCT (µs) by flow size, WebSearch heavy load");
+    for (class, pick) in [("intra-DC", 0usize), ("cross-DC", 1usize)] {
+        println!(
+            "# Fig 13 ({class}): 99.9th percentile FCT (µs) by flow size, WebSearch heavy load"
+        );
         let mut headers = vec!["algorithm".to_string()];
         headers.extend(
             simstats::SIZE_BUCKETS
@@ -80,7 +79,9 @@ fn main() {
             .fold(0.0f64, f64::max);
         println!(
             "# bucket {}: MLCC intra p99.9 {:.0} µs vs worst baseline {:.0} µs",
-            simstats::SIZE_BUCKETS[bucket].1, mlcc, worst
+            simstats::SIZE_BUCKETS[bucket].1,
+            mlcc,
+            worst
         );
         assert!(
             mlcc < worst,

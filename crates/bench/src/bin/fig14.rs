@@ -26,7 +26,9 @@ fn main() {
     );
 
     for (class, pick) in [("intra-DC", 0usize), ("cross-DC", 1usize)] {
-        println!("# Fig 14 ({class}): 99.9th percentile FCT (µs) by flow size, WebSearch light load");
+        println!(
+            "# Fig 14 ({class}): 99.9th percentile FCT (µs) by flow size, WebSearch light load"
+        );
         let mut headers = vec!["algorithm".to_string()];
         headers.extend(
             simstats::SIZE_BUCKETS
@@ -65,6 +67,9 @@ fn main() {
         .map(|&b| small_tail(b))
         .fold(0.0f64, f64::max);
     println!("# small-flow intra p99.9: MLCC {mlcc:.0} µs vs worst baseline {worst:.0} µs");
-    assert!(mlcc < worst, "MLCC must protect small intra flows under light load");
+    assert!(
+        mlcc < worst,
+        "MLCC must protect small intra flows under light load"
+    );
     println!("SHAPE OK: MLCC holds the small-flow intra-DC tail down under light load");
 }

@@ -72,7 +72,11 @@ fn run(algo: Algo) -> IncastResult {
         t += 100 * US;
     }
     let done = sim.run_until_flows_complete();
-    assert!(done, "{}: incast epochs and victims must complete", algo.name());
+    assert!(
+        done,
+        "{}: incast epochs and victims must complete",
+        algo.name()
+    );
     // Reassemble incast finishes in flow order.
     let mut finishes = vec![0; n_incast];
     let mut victim_fcts: Vec<Time> = Vec::new();

@@ -28,9 +28,20 @@ fn main() {
     let results = run_parallel(jobs);
 
     println!("# Seed robustness: Fig 11 Hadoop heavy cell, MLCC vs DCQCN");
-    let mut t = TextTable::new(vec!["seed", "algo", "intra avg (µs)", "cross avg (µs)", "done"]);
+    let mut t = TextTable::new(vec![
+        "seed",
+        "algo",
+        "intra avg (µs)",
+        "cross avg (µs)",
+        "done",
+    ]);
     for (seed, algo, r) in &results {
-        assert_eq!(r.flows_completed, r.flows_total, "seed {seed} {} completes", algo.name());
+        assert_eq!(
+            r.flows_completed,
+            r.flows_total,
+            "seed {seed} {} completes",
+            algo.name()
+        );
         t.row(vec![
             format!("{seed}"),
             algo.name().to_string(),

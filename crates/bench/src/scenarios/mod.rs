@@ -16,7 +16,10 @@ where
 {
     std::thread::scope(|s| {
         let handles: Vec<_> = jobs.into_iter().map(|j| s.spawn(j)).collect();
-        handles.into_iter().map(|h| h.join().expect("job panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("job panicked"))
+            .collect()
     })
 }
 
@@ -26,9 +29,7 @@ pub fn downsample<T: Copy>(series: &[(Time, T)], n: usize) -> Vec<(Time, T)> {
         return series.to_vec();
     }
     let step = series.len() as f64 / n as f64;
-    (0..n)
-        .map(|i| series[(i as f64 * step) as usize])
-        .collect()
+    (0..n).map(|i| series[(i as f64 * step) as usize]).collect()
 }
 
 #[cfg(test)]

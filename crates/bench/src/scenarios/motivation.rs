@@ -97,7 +97,8 @@ pub fn experiment1(algo: Algo, duration: Time) -> MotivationResult {
         pfq_link: None,
     });
     sim.run();
-    let per_flow: Vec<Vec<(Time, f64)>> = (0..8).map(|i| sim.out.monitor.flow_throughput(i)).collect();
+    let per_flow: Vec<Vec<(Time, f64)>> =
+        (0..8).map(|i| sim.out.monitor.flow_throughput(i)).collect();
     MotivationResult {
         group_a_gbps: avg_series(&per_flow[..4]),
         group_b_gbps: avg_series(&per_flow[4..]),
@@ -152,7 +153,8 @@ pub fn experiment2(algo: Algo, duration: Time) -> MotivationResult {
         pfq_link: None,
     });
     sim.run();
-    let per_flow: Vec<Vec<(Time, f64)>> = (0..8).map(|i| sim.out.monitor.flow_throughput(i)).collect();
+    let per_flow: Vec<Vec<(Time, f64)>> =
+        (0..8).map(|i| sim.out.monitor.flow_throughput(i)).collect();
     MotivationResult {
         group_a_gbps: avg_series(&per_flow[..4]),
         group_b_gbps: avg_series(&per_flow[4..]),
@@ -186,7 +188,8 @@ pub fn experiment3(algo: Algo, duration: Time) -> MotivationResult {
         pfq_link: Some(dci_links[0]),
     });
     sim.run();
-    let per_flow: Vec<Vec<(Time, f64)>> = (0..8).map(|i| sim.out.monitor.flow_throughput(i)).collect();
+    let per_flow: Vec<Vec<(Time, f64)>> =
+        (0..8).map(|i| sim.out.monitor.flow_throughput(i)).collect();
     MotivationResult {
         group_a_gbps: avg_series(&per_flow[..4]),
         group_b_gbps: avg_series(&per_flow[4..]),

@@ -9,9 +9,9 @@
 //!   event counts select the stage: fast recovery (averaging back toward
 //!   the target), additive increase, or hyper increase.
 
-use netsim::cc::{clamp_rate, AckView, SenderCc};
 #[cfg(test)]
 use netsim::cc::MIN_SEND_RATE_BPS;
+use netsim::cc::{clamp_rate, AckView, SenderCc};
 use netsim::units::{Time, MBPS, US};
 
 /// DCQCN parameters, defaulting to the HPCC paper's suggested tuning.

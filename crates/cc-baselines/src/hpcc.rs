@@ -80,10 +80,7 @@ impl Hpcc {
 
 impl SenderCc for Hpcc {
     fn on_ack(&mut self, ack: &AckView<'_>) {
-        let Some(u) = self
-            .hops
-            .max_utilization(ack.int, self.base_rtt, |_| true)
-        else {
+        let Some(u) = self.hops.max_utilization(ack.int, self.base_rtt, |_| true) else {
             return;
         };
         if u >= self.p.eta || self.inc_stage >= self.p.max_stage {
@@ -95,7 +92,11 @@ impl SenderCc for Hpcc {
         // Reference update once per RTT (window's worth of bytes acked).
         if ack.seq >= self.update_seq {
             self.w_c = self.w;
-            self.inc_stage = if u >= self.p.eta { 0 } else { self.inc_stage + 1 };
+            self.inc_stage = if u >= self.p.eta {
+                0
+            } else {
+                self.inc_stage + 1
+            };
             self.update_seq = ack.seq + self.w as u64;
         }
     }

@@ -173,7 +173,11 @@ mod tests {
             tx += per;
             feed(&mut p, hop(i * BASE, 0, tx));
         }
-        assert!(p.window() >= w0 * 0.95 && p.window() <= w0 + 1.0, "w {}", p.window());
+        assert!(
+            p.window() >= w0 * 0.95 && p.window() <= w0 + 1.0,
+            "w {}",
+            p.window()
+        );
     }
 
     #[test]

@@ -86,8 +86,7 @@ impl Timely {
         };
         self.prev_rtt = Some(rtt);
         let new_diff = rtt as f64 - prev as f64;
-        self.rtt_diff =
-            (1.0 - self.p.ewma_alpha) * self.rtt_diff + self.p.ewma_alpha * new_diff;
+        self.rtt_diff = (1.0 - self.p.ewma_alpha) * self.rtt_diff + self.p.ewma_alpha * new_diff;
         // Normalize the gradient over at least t_low: TIMELY was designed
         // for RTTs of tens to hundreds of µs, and dividing by a ~5 µs
         // intra-rack propagation RTT makes every queue wiggle look like a

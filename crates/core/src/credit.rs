@@ -219,7 +219,9 @@ mod tests {
     fn credit_counter_wraps_safely() {
         let mut c = CreditLoop::new(&MlccParams::default(), CAP, T);
         c.c_r = u32::MAX;
-        let out = c.on_data(&stack(0, 0, 0, 0), Some(u32::MAX), FULL, 0).unwrap();
+        let out = c
+            .on_data(&stack(0, 0, 0, 0), Some(u32::MAX), FULL, 0)
+            .unwrap();
         assert_eq!(out.c_r, 0);
     }
 }

@@ -43,13 +43,7 @@ pub struct Dqm {
 }
 
 impl Dqm {
-    pub fn new(
-        p: MlccParams,
-        rtt_c: Time,
-        rtt_d: Time,
-        mtu_wire_bytes: u32,
-        cap_bps: u64,
-    ) -> Self {
+    pub fn new(p: MlccParams, rtt_c: Time, rtt_d: Time, mtu_wire_bytes: u32, cap_bps: u64) -> Self {
         let n = ((rtt_c / rtt_d.max(1)).max(1)) as usize;
         Dqm {
             p,
@@ -90,8 +84,7 @@ impl Dqm {
 
         // Eq. 3: predicted queue in bytes.
         let rtt_c_secs = self.rtt_c as f64 / SEC as f64;
-        let q_pre =
-            ((r_pre_eq - r_credit) * rtt_c_secs / 8.0 + self.q_c_bytes as f64).max(0.0);
+        let q_pre = ((r_pre_eq - r_credit) * rtt_c_secs / 8.0 + self.q_c_bytes as f64).max(0.0);
 
         // Eq. 4: predicted queueing delay at the smoothed dequeue rate.
         let avg_credit = self.r_credit_hist.iter().sum::<f64>() / self.r_credit_hist.len() as f64;

@@ -178,7 +178,11 @@ mod tests {
         let mut c = ctl();
         c.on_int(&stack(0, 0, 0), 0);
         for i in 1..200u64 {
-            let q = if i % 2 == 0 { 100 * bytes_in(T, CAP) } else { 0 };
+            let q = if i % 2 == 0 {
+                100 * bytes_in(T, CAP)
+            } else {
+                0
+            };
             let r = c.on_int(&stack(i * T, q, i * bytes_in(T, CAP)), i * T);
             assert!(r >= MIN_SEND_RATE_BPS && r <= CAP as f64);
         }
@@ -201,7 +205,11 @@ mod tests {
         };
         assert!(c.observe(&mk(0, 0)).is_none());
         assert!(c.observe(&mk(T, bytes_in(T, CAP))).is_none());
-        assert_eq!(c.rate_bps(), CAP as f64, "DCI congestion must not move the credit rate");
+        assert_eq!(
+            c.rate_bps(),
+            CAP as f64,
+            "DCI congestion must not move the credit rate"
+        );
     }
 
     #[test]

@@ -155,7 +155,12 @@ mod tests {
         let q = 10 * bytes_in(t, LINE);
         s.on_ack(&ack(1, None, &stack(0, q, 0), 0));
         for i in 1..=10u64 {
-            s.on_ack(&ack(1 + i, None, &stack(i * t, q, i * bytes_in(t, LINE)), i * t));
+            s.on_ack(&ack(
+                1 + i,
+                None,
+                &stack(i * t, q, i * bytes_in(t, LINE)),
+                i * t,
+            ));
         }
         assert!(s.rate_bps() < 0.6 * LINE as f64, "{}", s.rate_bps());
     }

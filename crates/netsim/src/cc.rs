@@ -251,7 +251,10 @@ mod tests {
             r.on_data(&data_pkt(true), 50 * US).send_cnp,
             "interval elapsed → CNP"
         );
-        assert!(!r.on_data(&data_pkt(false), 200 * US).send_cnp, "no mark → no CNP");
+        assert!(
+            !r.on_data(&data_pkt(false), 200 * US).send_cnp,
+            "no mark → no CNP"
+        );
     }
 
     #[test]

@@ -21,11 +21,17 @@ impl EcnConfig {
     /// Standard datacenter-switch marking profile for a given egress line
     /// rate, following the HPCC paper's DCQCN configuration (100 KB / 400
     /// KB / 0.2 at 25 Gbps), scaled linearly with rate.
+    ///
+    /// Thresholds are rounded (not truncated), and `kmax` is kept
+    /// strictly above `kmin` so very low link rates can never produce a
+    /// degenerate zero-width ramp.
     pub fn dc_switch(rate: Bandwidth) -> Self {
         let scale = rate as f64 / (25.0 * GBPS as f64);
+        let kmin_bytes = (100_000.0 * scale).round() as u64;
+        let kmax_bytes = ((400_000.0 * scale).round() as u64).max(kmin_bytes + 1);
         EcnConfig {
-            kmin_bytes: (100_000.0 * scale) as u64,
-            kmax_bytes: (400_000.0 * scale) as u64,
+            kmin_bytes,
+            kmax_bytes,
             pmax: 0.2,
             enabled: true,
         }
@@ -60,7 +66,13 @@ impl EcnConfig {
         } else if qlen >= self.kmax_bytes {
             1.0
         } else {
+            // Reaching here implies kmin < qlen-compatible kmax, but a
+            // hand-built config may still set kmax == kmin: treat the
+            // empty ramp as a step to pmax rather than divide by zero.
             let span = (self.kmax_bytes - self.kmin_bytes) as f64;
+            if span <= 0.0 {
+                return self.pmax;
+            }
             self.pmax * (qlen - self.kmin_bytes) as f64 / span
         }
     }
@@ -121,25 +133,63 @@ mod tests {
         assert!(c.kmin_bytes >= 1_000_000);
         assert!(c.kmax_bytes > c.kmin_bytes);
     }
-}
 
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    #[test]
+    fn thresholds_round_not_truncate() {
+        // 3 Gbps: scale = 0.12, kmin = 12 000, kmax = 48 000 exactly;
+        // 1 Gbps: scale = 0.04 → 4 000 / 16 000. Pick a rate whose scale
+        // is not exact in binary to catch truncation: 10 Gbps/3 ≈ 3.33G.
+        let rate = 10 * GBPS / 3;
+        let scale = rate as f64 / (25.0 * GBPS as f64);
+        let c = EcnConfig::dc_switch(rate);
+        assert_eq!(c.kmin_bytes, (100_000.0 * scale).round() as u64);
+        assert_eq!(c.kmax_bytes, (400_000.0 * scale).round() as u64);
+    }
 
-    proptest! {
-        /// Marking probability is monotone in queue length and bounded by
-        /// [0, 1].
-        #[test]
-        fn probability_monotone(q1 in 0u64..10_000_000, q2 in 0u64..10_000_000) {
-            let c = EcnConfig::dc_switch(25 * GBPS);
+    #[test]
+    fn degenerate_low_rate_has_nonzero_span() {
+        // At absurdly low rates rounding would collapse kmin == kmax;
+        // the constructor must keep the ramp non-degenerate.
+        for rate in [1, 10, 1000, 125_000] {
+            let c = EcnConfig::dc_switch(rate);
+            assert!(c.kmax_bytes > c.kmin_bytes, "rate {rate}: {c:?}");
+            // And probabilities stay finite everywhere.
+            for q in [0, c.kmin_bytes, c.kmax_bytes, c.kmax_bytes + 1] {
+                let p = c.mark_probability(q);
+                assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn hand_built_equal_thresholds_step_not_nan() {
+        let c = EcnConfig {
+            kmin_bytes: 5_000,
+            kmax_bytes: 5_000,
+            pmax: 0.2,
+            enabled: true,
+        };
+        assert_eq!(c.mark_probability(4_999), 0.0);
+        let p = c.mark_probability(5_000);
+        assert!(p.is_finite() && p == 1.0, "at kmax: always mark, p = {p}");
+    }
+
+    /// Seeded-loop property test: marking probability is monotone in
+    /// queue length and bounded by [0, 1].
+    #[test]
+    fn probability_monotone_random_pairs() {
+        use crate::rng::{SimRng, Xoshiro256StarStar};
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xEC4);
+        let c = EcnConfig::dc_switch(25 * GBPS);
+        for _ in 0..4_000 {
+            let q1 = rng.gen_range(0..10_000_000);
+            let q2 = rng.gen_range(0..10_000_000);
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
             let p_lo = c.mark_probability(lo);
             let p_hi = c.mark_probability(hi);
-            prop_assert!(p_lo <= p_hi + 1e-12);
-            prop_assert!((0.0..=1.0).contains(&p_lo));
-            prop_assert!((0.0..=1.0).contains(&p_hi));
+            assert!(p_lo <= p_hi + 1e-12, "q {lo}→{hi}: p {p_lo} > {p_hi}");
+            assert!((0.0..=1.0).contains(&p_lo));
+            assert!((0.0..=1.0).contains(&p_hi));
         }
     }
 }

@@ -13,9 +13,9 @@ use crate::cc::{clamp_rate, AckView, ReceiverCc, SenderCc};
 use crate::flow::{FctRecord, FlowPath, FlowSpec};
 use crate::packet::{Packet, PacketKind};
 use crate::types::{FlowId, LinkId, NodeId};
-use crate::units::{Time, MS, SEC};
 #[cfg(test)]
 use crate::units::tx_time;
+use crate::units::{Time, MS, SEC};
 
 /// Sender-side state of one flow.
 pub struct SendFlow {
@@ -200,7 +200,15 @@ impl Host {
             let remaining = f.spec.size_bytes - f.bytes_sent;
             let payload = (remaining.min(self.mtu_bytes as u64)) as u32;
             *pkt_id += 1;
-            let pkt = Packet::data(*pkt_id, fid, f.spec.src, f.spec.dst, f.bytes_sent, payload, now);
+            let pkt = Packet::data(
+                *pkt_id,
+                fid,
+                f.spec.src,
+                f.spec.dst,
+                f.bytes_sent,
+                payload,
+                now,
+            );
             f.bytes_sent += payload as u64;
             // Pace on wire bytes at the CC rate.
             let rate = clamp_rate(f.cc.rate_bps(), f.path.line_rate_bps);
@@ -248,7 +256,8 @@ impl Host {
         out.control.push(ack);
         if fields.send_cnp {
             *pkt_id += 1;
-            out.control.push(Packet::cnp(*pkt_id, pkt.flow, pkt.dst, pkt.src));
+            out.control
+                .push(Packet::cnp(*pkt_id, pkt.flow, pkt.dst, pkt.src));
         }
         if !rf.complete && rf.expected >= rf.spec.size_bytes {
             rf.complete = true;
@@ -356,17 +365,19 @@ impl Host {
 
     /// Whether the flow still needs RTO supervision.
     pub fn needs_rto(&self, flow: FlowId) -> Option<Time> {
-        self.send
-            .get(&flow)
-            .filter(|f| !f.done)
-            .map(|f| f.rto)
+        self.send.get(&flow).filter(|f| !f.done).map(|f| f.rto)
     }
 
     /// Remove completed flows from the round-robin ring (cheap GC called
     /// opportunistically by the simulator).
     pub fn gc_finished(&mut self) {
-        if self.rr.iter().any(|f| self.send.get(f).is_none_or(|s| s.done)) {
-            self.rr.retain(|f| self.send.get(f).is_some_and(|s| !s.done));
+        if self
+            .rr
+            .iter()
+            .any(|f| self.send.get(f).is_none_or(|s| s.done))
+        {
+            self.rr
+                .retain(|f| self.send.get(f).is_some_and(|s| !s.done));
             self.rr_cursor = 0;
         }
     }
@@ -556,8 +567,18 @@ mod tests {
     #[test]
     fn round_robin_between_flows() {
         let mut h = Host::new(NodeId(0), LinkId(0), 1000);
-        h.add_send_flow(spec(0, 100_000), path(), Box::new(FixedRateCc::new(25e9)), 0);
-        h.add_send_flow(spec(1, 100_000), path(), Box::new(FixedRateCc::new(25e9)), 0);
+        h.add_send_flow(
+            spec(0, 100_000),
+            path(),
+            Box::new(FixedRateCc::new(25e9)),
+            0,
+        );
+        h.add_send_flow(
+            spec(1, 100_000),
+            path(),
+            Box::new(FixedRateCc::new(25e9)),
+            0,
+        );
         let mut id = 0;
         let mut seen = Vec::new();
         let mut now = 0;
@@ -575,6 +596,9 @@ mod tests {
             }
         }
         // Both flows get service in alternation.
-        assert!(seen.windows(2).all(|w| w[0] != w[1]), "alternating: {seen:?}");
+        assert!(
+            seen.windows(2).all(|w| w[0] != w[1]),
+            "alternating: {seen:?}"
+        );
     }
 }

@@ -46,7 +46,10 @@ impl IntHop {
         if prev.hop_id != self.hop_id || self.ts <= prev.ts {
             return None;
         }
-        let tx_rate = rate_bps(self.tx_bytes.saturating_sub(prev.tx_bytes), self.ts - prev.ts);
+        let tx_rate = rate_bps(
+            self.tx_bytes.saturating_sub(prev.tx_bytes),
+            self.ts - prev.ts,
+        );
         let bdp = crate::units::bytes_in(t_base, self.link_bps) as f64;
         let qterm = if bdp > 0.0 {
             // Use the smaller of the two queue samples, like HPCC's
@@ -158,7 +161,12 @@ impl HopHistory {
     ///
     /// `filter` selects which hops participate (e.g. exclude DCI hops when
     /// computing the intra-DC credit rate).
-    pub fn max_utilization<F>(&mut self, stack: &IntStack, t_base: Time, mut filter: F) -> Option<f64>
+    pub fn max_utilization<F>(
+        &mut self,
+        stack: &IntStack,
+        t_base: Time,
+        mut filter: F,
+    ) -> Option<f64>
     where
         F: FnMut(&IntHop) -> bool,
     {
@@ -270,7 +278,10 @@ mod tests {
         let mut s1 = IntStack::new();
         s1.push(hop(1, 0, 0, 0));
         s1.push(hop(2, 0, 0, 0));
-        assert!(h.max_utilization(&s1, t, |_| true).is_none(), "first stack has no deltas");
+        assert!(
+            h.max_utilization(&s1, t, |_| true).is_none(),
+            "first stack has no deltas"
+        );
 
         let mut s2 = IntStack::new();
         // Hop 1 at half line rate, hop 2 at line rate: max = hop 2.

@@ -51,6 +51,7 @@ pub mod packet;
 pub mod pfc;
 pub mod pfq;
 pub mod queue;
+pub mod rng;
 pub mod routing;
 pub mod sim;
 pub mod switch;
@@ -73,12 +74,13 @@ pub mod prelude {
     pub use crate::monitor::{MonitorLog, MonitorSpec, Sample};
     pub use crate::packet::{MlccFields, Packet, PacketKind};
     pub use crate::pfc::{PfcConfig, PfcThreshold};
+    pub use crate::rng::{SimRng, Xoshiro256StarStar};
     pub use crate::sim::{SimOutput, Simulator};
     pub use crate::switch::SwitchKind;
-    pub use crate::trace::{Trace, TraceEvent, TraceRecord};
     pub use crate::topology::{
         DumbbellParams, DumbbellTopology, NetBuilder, Network, TwoDcParams, TwoDcTopology,
     };
+    pub use crate::trace::{Trace, TraceEvent, TraceRecord};
     pub use crate::types::{FlowId, LinkId, NodeId, Priority};
     pub use crate::units::{
         bdp_bytes, bytes_in, fmt_bw, fmt_bytes, rate_bps, to_micros, to_millis, to_secs, tx_time,

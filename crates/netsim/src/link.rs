@@ -125,7 +125,10 @@ mod tests {
             .enqueue(Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0));
         assert_eq!(l.queued_bytes(), 1048);
         let mut pfq = PfqSet::new(1 * GBPS, 1048);
-        pfq.enqueue(Packet::data(2, FlowId(1), NodeId(0), NodeId(1), 0, 1000, 0), 0);
+        pfq.enqueue(
+            Packet::data(2, FlowId(1), NodeId(0), NodeId(1), 0, 1000, 0),
+            0,
+        );
         l.pfq = Some(pfq);
         assert_eq!(l.queued_bytes(), 2 * 1048);
         assert_eq!(l.data_queued_bytes(), 2 * 1048);

@@ -151,15 +151,16 @@ mod tests {
         // leaf2-h1.
         let mut adj = vec![Vec::new(); 6];
         let mut link_no = 0u32;
-        let mut connect = |adj: &mut Vec<Vec<(LinkId, NodeId)>>, a: usize, b: usize| -> (LinkId, LinkId) {
-            let l1 = LinkId(link_no);
-            adj[a].push((l1, NodeId(b as u32)));
-            link_no += 1;
-            let l2 = LinkId(link_no);
-            adj[b].push((l2, NodeId(a as u32)));
-            link_no += 1;
-            (l1, l2)
-        };
+        let mut connect =
+            |adj: &mut Vec<Vec<(LinkId, NodeId)>>, a: usize, b: usize| -> (LinkId, LinkId) {
+                let l1 = LinkId(link_no);
+                adj[a].push((l1, NodeId(b as u32)));
+                link_no += 1;
+                let l2 = LinkId(link_no);
+                adj[b].push((l2, NodeId(a as u32)));
+                link_no += 1;
+                (l1, l2)
+            };
         // 0=h0, 1=h1, 2=leaf0, 3=leaf1, 4=spine0, 5=spine1
         connect(&mut adj, 0, 2);
         let (l_up1, _) = connect(&mut adj, 2, 4);
@@ -192,7 +193,13 @@ mod tests {
         let a = ecmp_hash(FlowId(1), NodeId(2));
         let b = ecmp_hash(FlowId(1), NodeId(2));
         assert_eq!(a, b);
-        assert_ne!(ecmp_hash(FlowId(1), NodeId(2)), ecmp_hash(FlowId(2), NodeId(2)));
-        assert_ne!(ecmp_hash(FlowId(1), NodeId(2)), ecmp_hash(FlowId(1), NodeId(3)));
+        assert_ne!(
+            ecmp_hash(FlowId(1), NodeId(2)),
+            ecmp_hash(FlowId(2), NodeId(2))
+        );
+        assert_ne!(
+            ecmp_hash(FlowId(1), NodeId(2)),
+            ecmp_hash(FlowId(1), NodeId(3))
+        );
     }
 }

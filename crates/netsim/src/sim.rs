@@ -2,9 +2,6 @@
 //! data-plane behaviours (near-source Switch-INT feedback, per-flow
 //! queueing with credit-controlled dequeue).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::cc::{CcEnv, CcFactory};
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
@@ -16,6 +13,7 @@ use crate::node::Node;
 use crate::packet::{Packet, PacketKind, CONTROL_PACKET_BYTES};
 use crate::pfc::PfcAction;
 use crate::pfq::PfqDequeue;
+use crate::rng::{SimRng, Xoshiro256StarStar};
 use crate::routing::RoutingTables;
 use crate::topology::Network;
 use crate::trace::{Trace, TraceEvent};
@@ -36,6 +34,8 @@ pub struct SimOutput {
     /// Aggregated at finalize.
     pub dropped_packets: u64,
     pub retransmits: u64,
+    /// Data packets CE-marked at switch enqueue.
+    pub ecn_marks: u64,
 }
 
 /// The simulator.
@@ -50,7 +50,7 @@ pub struct Simulator {
     pub flows: Vec<FlowSpec>,
     pub paths: Vec<Option<FlowPath>>,
     factory: Box<dyn CcFactory>,
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
     pkt_id: u64,
     pub out: SimOutput,
     /// Optional flight recorder (see [`crate::trace`]). Off by default.
@@ -65,7 +65,7 @@ impl Simulator {
     pub fn new(net: Network, cfg: SimConfig, factory: Box<dyn CcFactory>) -> Self {
         let mut sim = Simulator {
             now: 0,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Xoshiro256StarStar::seed_from_u64(cfg.seed),
             cfg,
             events: EventQueue::new(),
             nodes: net.nodes,
@@ -304,7 +304,13 @@ impl Simulator {
             (timer, h.uplink, rto)
         };
         if let Some((f, at)) = timer {
-            self.events.schedule(at, Event::CcTimer { node: spec.src, flow: f });
+            self.events.schedule(
+                at,
+                Event::CcTimer {
+                    node: spec.src,
+                    flow: f,
+                },
+            );
         }
         self.events.schedule(
             self.now + rto,
@@ -372,7 +378,10 @@ impl Simulator {
             {
                 let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
                 if !sw.buffer.admit(size, true) {
-                    self.record(TraceEvent::PacketDropped { flow: pkt.flow, at: node });
+                    self.record(TraceEvent::PacketDropped {
+                        flow: pkt.flow,
+                        at: node,
+                    });
                     return; // also counted by the buffer
                 }
                 let cap = sw.buffer.capacity();
@@ -454,17 +463,25 @@ impl Simulator {
         {
             let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
             if !sw.buffer.admit(size, droppable) {
-                self.record(TraceEvent::PacketDropped { flow: pkt.flow, at: node });
+                self.record(TraceEvent::PacketDropped {
+                    flow: pkt.flow,
+                    at: node,
+                });
                 return;
             }
         }
         if pkt.is_data() {
             // ECN at enqueue, on the egress data queue depth, with the
-            // egress port's marking profile.
+            // egress port's marking profile. The uniform sample is drawn
+            // only when the marking probability is nonzero, so runs with
+            // ECN disabled (or queues below Kmin throughout) consume no
+            // RNG state and stay bitwise-identical to marking-enabled
+            // topologies under the same seed.
             let qlen = self.links[egress.index()].data_queued_bytes();
-            let uniform: f64 = self.rng.gen();
-            if self.links[egress.index()].ecn.should_mark(qlen, uniform) {
+            let p = self.links[egress.index()].ecn.mark_probability(qlen);
+            if p > 0.0 && self.rng.gen_f64() < p {
                 pkt.ecn = true;
+                self.out.ecn_marks += 1;
             }
             // PFC ingress accounting.
             if let Some(il) = in_link {
@@ -481,7 +498,10 @@ impl Simulator {
                 };
                 if act == PfcAction::Pause {
                     self.out.pfc_events.push((now, node));
-                    self.record(TraceEvent::PfcPause { at: node, ingress: il });
+                    self.record(TraceEvent::PfcPause {
+                        at: node,
+                        ingress: il,
+                    });
                     self.events.schedule(
                         now + signal_delay,
                         Event::PfcUpdate {
@@ -555,11 +575,13 @@ impl Simulator {
                     let cap = sw.buffer.capacity();
                     let used = sw.buffer.used();
                     let pfc = sw.pfc;
-                    let act = sw
-                        .ingress
-                        .entry(il)
-                        .or_default()
-                        .on_dequeue(pkt.size as u64, &pfc, cap, used, now);
+                    let act = sw.ingress.entry(il).or_default().on_dequeue(
+                        pkt.size as u64,
+                        &pfc,
+                        cap,
+                        used,
+                        now,
+                    );
                     if act == PfcAction::Resume {
                         resume_on = Some(il);
                     }
@@ -567,7 +589,10 @@ impl Simulator {
             }
         }
         if let Some(il) = resume_on {
-            self.record(TraceEvent::PfcResume { at: src, ingress: il });
+            self.record(TraceEvent::PfcResume {
+                at: src,
+                ingress: il,
+            });
             let d = self.links[il.index()].delay;
             self.events.schedule(
                 now + d,
@@ -620,7 +645,13 @@ impl Simulator {
                     .is_some_and(|d| d.switch_int_due(pkt.flow, now));
                 if due {
                     self.pkt_id += 1;
-                    feedback = Some(Packet::switch_int(self.pkt_id, pkt.flow, src, pkt.src, stack));
+                    feedback = Some(Packet::switch_int(
+                        self.pkt_id,
+                        pkt.flow,
+                        src,
+                        pkt.src,
+                        stack,
+                    ));
                 }
             }
         }
@@ -632,9 +663,15 @@ impl Simulator {
             lk.busy = true;
             (lk.ser_time(pkt.size as u64), lk.delay)
         };
-        self.events.schedule(now + ser, Event::TxComplete { link: l });
         self.events
-            .schedule(now + ser + delay, Event::Arrival { link: l, packet: pkt });
+            .schedule(now + ser, Event::TxComplete { link: l });
+        self.events.schedule(
+            now + ser + delay,
+            Event::Arrival {
+                link: l,
+                packet: pkt,
+            },
+        );
 
         if let Some(fb) = feedback {
             self.forward_from(src, None, fb);
@@ -679,7 +716,8 @@ impl Simulator {
             self.try_start_tx(uplink);
         }
         if let Some(rto) = needs {
-            self.events.schedule(now + rto, Event::RtoCheck { node, flow });
+            self.events
+                .schedule(now + rto, Event::RtoCheck { node, flow });
         }
     }
 
@@ -969,7 +1007,13 @@ mod tests {
         sim.run();
         assert!(sim.out.monitor.samples.len() >= 50);
         // Flow progress is monotone in the samples.
-        let rx: Vec<u64> = sim.out.monitor.samples.iter().map(|s| s.flow_rx_bytes[0]).collect();
+        let rx: Vec<u64> = sim
+            .out
+            .monitor
+            .samples
+            .iter()
+            .map(|s| s.flow_rx_bytes[0])
+            .collect();
         assert!(rx.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*rx.last().unwrap(), 100_000);
     }
@@ -987,7 +1031,11 @@ mod tests {
         assert_eq!(p.bottleneck_bps, 10 * GBPS);
         assert_eq!(p.base_rtt, p.src_dc_rtt);
         // Base RTT: 2 links of 1 µs each way + serialization.
-        assert!(p.base_rtt > 4 * US && p.base_rtt < 10 * US, "{}", p.base_rtt);
+        assert!(
+            p.base_rtt > 4 * US && p.base_rtt < 10 * US,
+            "{}",
+            p.base_rtt
+        );
     }
 
     #[test]

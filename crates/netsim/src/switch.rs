@@ -124,7 +124,12 @@ mod tests {
 
     #[test]
     fn long_haul_role_checks() {
-        let mut s = Switch::new(NodeId(9), SwitchKind::Dci, 128_000_000, PfcConfig::disabled());
+        let mut s = Switch::new(
+            NodeId(9),
+            SwitchKind::Dci,
+            128_000_000,
+            PfcConfig::disabled(),
+        );
         assert!(!s.is_long_haul_egress(LinkId(0)));
         s.dci = Some(DciState::new(LinkId(0), LinkId(1), US));
         assert!(s.is_long_haul_egress(LinkId(0)));
@@ -135,7 +140,12 @@ mod tests {
 
     #[test]
     fn pfc_counters_aggregate() {
-        let mut s = Switch::new(NodeId(1), SwitchKind::Leaf, 22_000_000, PfcConfig::dc_switch());
+        let mut s = Switch::new(
+            NodeId(1),
+            SwitchKind::Leaf,
+            22_000_000,
+            PfcConfig::dc_switch(),
+        );
         s.ingress.entry(LinkId(0)).or_default().pause_count = 3;
         s.ingress.entry(LinkId(1)).or_default().pause_count = 2;
         assert_eq!(s.pfc_pause_count(), 5);

@@ -49,8 +49,11 @@ impl NetBuilder {
     /// names it.
     pub fn add_host(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes
-            .push(Node::Host(Host::new(id, LinkId(u32::MAX), self.mtu_payload)));
+        self.nodes.push(Node::Host(Host::new(
+            id,
+            LinkId(u32::MAX),
+            self.mtu_payload,
+        )));
         self.adjacency.push(Vec::new());
         self.hosts.push(id);
         id
@@ -244,7 +247,11 @@ impl TwoDcTopology {
             let dc_spines: Vec<NodeId> = (0..params.spines_per_dc)
                 .map(|_| b.add_switch(SwitchKind::Spine, params.dc_switch_buffer, params.pfc))
                 .collect();
-            let dci = b.add_switch(SwitchKind::Dci, params.dci_switch_buffer, PfcConfig::disabled());
+            let dci = b.add_switch(
+                SwitchKind::Dci,
+                params.dci_switch_buffer,
+                PfcConfig::disabled(),
+            );
             let mut dc_servers = Vec::new();
             for &leaf in &dc_leaves {
                 let rack: Vec<NodeId> = (0..params.servers_per_leaf)

@@ -154,7 +154,13 @@ mod tests {
     fn records_and_renders() {
         let mut t = Trace::new(16);
         t.record(1_000_000, started(0));
-        t.record(2_000_000, TraceEvent::FlowCompleted { flow: FlowId(0), fct: 1_000_000 });
+        t.record(
+            2_000_000,
+            TraceEvent::FlowCompleted {
+                flow: FlowId(0),
+                fct: 1_000_000,
+            },
+        );
         assert_eq!(t.len(), 2);
         let s = t.render();
         assert!(s.contains("FlowStarted"));
@@ -193,10 +199,31 @@ mod tests {
     #[test]
     fn count_predicate() {
         let mut t = Trace::new(16);
-        t.record(0, TraceEvent::PacketDropped { flow: FlowId(0), at: NodeId(2) });
-        t.record(1, TraceEvent::PacketDropped { flow: FlowId(1), at: NodeId(2) });
-        t.record(2, TraceEvent::Retransmit { flow: FlowId(0), from_seq: 512 });
-        assert_eq!(t.count(|e| matches!(e, TraceEvent::PacketDropped { .. })), 2);
+        t.record(
+            0,
+            TraceEvent::PacketDropped {
+                flow: FlowId(0),
+                at: NodeId(2),
+            },
+        );
+        t.record(
+            1,
+            TraceEvent::PacketDropped {
+                flow: FlowId(1),
+                at: NodeId(2),
+            },
+        );
+        t.record(
+            2,
+            TraceEvent::Retransmit {
+                flow: FlowId(0),
+                from_seq: 512,
+            },
+        );
+        assert_eq!(
+            t.count(|e| matches!(e, TraceEvent::PacketDropped { .. })),
+            2
+        );
         assert_eq!(t.count(|e| matches!(e, TraceEvent::Retransmit { .. })), 1);
     }
 }

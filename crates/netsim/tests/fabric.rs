@@ -246,7 +246,13 @@ fn pfc_backpressure_propagates_upstream() {
     assert!(pauses_s2 > 0, "s2 pauses s1");
     assert!(pauses_s1 > 0, "s1 pauses the host");
     // Paused time accounting is consistent.
-    assert!(sim.nodes[s2.index()].as_switch().unwrap().pfc_paused_total() > 0);
+    assert!(
+        sim.nodes[s2.index()]
+            .as_switch()
+            .unwrap()
+            .pfc_paused_total()
+            > 0
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -360,17 +366,16 @@ fn trace_records_flow_lifecycle_and_pfq() {
         dci: DciFeatures::mlcc(),
         ..SimConfig::default()
     };
-    let mut sim = Simulator::new(
-        topo.net,
-        cfg,
-        Box::new(netsim::cc::NoCcFactory),
-    );
+    let mut sim = Simulator::new(topo.net, cfg, Box::new(netsim::cc::NoCcFactory));
     sim.enable_trace(1024);
     let f = sim.add_flow(src, dst, 200_000, 0);
     assert!(sim.run_until_flows_complete());
     let tr = sim.trace.as_ref().unwrap();
     assert_eq!(tr.count(|e| matches!(e, TraceEvent::FlowStarted { .. })), 1);
-    assert_eq!(tr.count(|e| matches!(e, TraceEvent::FlowCompleted { .. })), 1);
+    assert_eq!(
+        tr.count(|e| matches!(e, TraceEvent::FlowCompleted { .. })),
+        1
+    );
     assert_eq!(
         tr.count(|e| matches!(e, TraceEvent::PfqCreated { flow, .. } if *flow == f)),
         1,
@@ -416,7 +421,10 @@ fn trace_captures_drops_and_retransmits() {
     let retx = tr.count(|e| matches!(e, TraceEvent::Retransmit { .. }));
     assert!(drops > 0, "overflow must be traced");
     assert!(retx > 0, "go-back-N must be traced");
-    assert_eq!(drops as u64, sim.out.dropped_packets, "trace agrees with counters");
+    assert_eq!(
+        drops as u64, sim.out.dropped_packets,
+        "trace agrees with counters"
+    );
     assert_eq!(retx as u64, sim.out.retransmits);
 }
 

@@ -1,0 +1,319 @@
+//! A minimal JSON value model and writer — the workspace's replacement
+//! for `serde_json`, so results files can be emitted with zero external
+//! dependencies.
+//!
+//! Scope is deliberately small: building and **writing** JSON (objects,
+//! arrays, numbers, strings, booleans, null). There is no parser — the
+//! harness only produces results files, it never reads them back.
+//!
+//! Numeric edge cases follow the common convention for telemetry dumps:
+//! non-finite floats (`NaN`, `±∞`) serialize as `null`, since JSON has
+//! no representation for them and failing a whole results file over one
+//! undefined percentile helps nobody.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers are carried as `f64`; integers up to 2^53 round-trip
+    /// exactly, which covers every counter the simulator produces.
+    Num(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (keys are written in the order added).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object, ready for [`Value::set`] chaining.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Insert or replace `key` in an object. Panics on non-objects —
+    /// that is a programming error, not a data error.
+    pub fn set(&mut self, key: &str, val: impl Into<Value>) -> &mut Value {
+        let Value::Object(entries) = self else {
+            panic!("Value::set on non-object");
+        };
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = val.into(),
+            None => entries.push((key.to_string(), val.into())),
+        }
+        self
+    }
+
+    /// Builder-style [`Value::set`].
+    pub fn with(mut self, key: &str, val: impl Into<Value>) -> Value {
+        self.set(key, val);
+        self
+    }
+
+    /// Compact serialization (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s)
+            .expect("fmt::Write on String cannot fail");
+        s
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write_indented(&mut s, 0)
+            .expect("fmt::Write on String cannot fail");
+        s
+    }
+
+    fn write(&self, out: &mut impl fmt::Write) -> fmt::Result {
+        match self {
+            Value::Null => out.write_str("null"),
+            Value::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.write_char('[')?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    v.write(out)?;
+                }
+                out.write_char(']')
+            }
+            Value::Object(entries) => {
+                out.write_char('{')?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    write_escaped(out, k)?;
+                    out.write_char(':')?;
+                    v.write(out)?;
+                }
+                out.write_char('}')
+            }
+        }
+    }
+
+    fn write_indented(&self, out: &mut impl fmt::Write, depth: usize) -> fmt::Result {
+        const INDENT: &str = "  ";
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.write_str("[\n")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.write_str(",\n")?;
+                    }
+                    for _ in 0..=depth {
+                        out.write_str(INDENT)?;
+                    }
+                    v.write_indented(out, depth + 1)?;
+                }
+                out.write_char('\n')?;
+                for _ in 0..depth {
+                    out.write_str(INDENT)?;
+                }
+                out.write_char(']')
+            }
+            Value::Object(entries) if !entries.is_empty() => {
+                out.write_str("{\n")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.write_str(",\n")?;
+                    }
+                    for _ in 0..=depth {
+                        out.write_str(INDENT)?;
+                    }
+                    write_escaped(out, k)?;
+                    out.write_str(": ")?;
+                    v.write_indented(out, depth + 1)?;
+                }
+                out.write_char('\n')?;
+                for _ in 0..depth {
+                    out.write_str(INDENT)?;
+                }
+                out.write_char('}')
+            }
+            // Scalars and empty containers print compactly.
+            other => other.write(out),
+        }
+    }
+}
+
+fn write_number(out: &mut impl fmt::Write, n: f64) -> fmt::Result {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; telemetry convention is null.
+        return out.write_str("null");
+    }
+    // Integers (within f64's exact range) print without a decimal point,
+    // so counters look like counters.
+    if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        write!(out, "{}", n as i64)
+    } else {
+        // Shortest representation that round-trips, courtesy of Rust's
+        // float formatter (Ryū).
+        write!(out, "{n}")
+    }
+}
+
+fn write_escaped(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{08}' => out.write_str("\\b")?,
+            '\u{0C}' => out.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+// ---------------------------------------------------------------------
+// Conversions: the types that actually occur in results files.
+// ---------------------------------------------------------------------
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Num(n)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Num(n as f64)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Num(n as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(Value::Bool(true).to_json(), "true");
+        assert_eq!(Value::Bool(false).to_json(), "false");
+        assert_eq!(Value::Num(42.0).to_json(), "42");
+        assert_eq!(Value::Num(-3.0).to_json(), "-3");
+        assert_eq!(Value::Num(2.5).to_json(), "2.5");
+        assert_eq!(Value::Str("hi".into()).to_json(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_json(), "null");
+        assert_eq!(Value::Num(f64::NEG_INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn integers_print_without_decimal() {
+        assert_eq!(Value::from(123_456_789u64).to_json(), "123456789");
+        // 2^53 falls back to the float formatter but still prints in
+        // full (Rust's f64 Display never uses scientific notation).
+        assert_eq!(
+            Value::Num(9_007_199_254_740_992.0).to_json(),
+            "9007199254740992"
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        let s = "a\"b\\c\nd\te\u{01}";
+        assert_eq!(Value::from(s).to_json(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        // Unicode passes through raw (JSON is UTF-8).
+        assert_eq!(Value::from("µs→∞").to_json(), "\"µs→∞\"");
+    }
+
+    #[test]
+    fn arrays_and_objects() {
+        let v = Value::object()
+            .with("name", "fig11")
+            .with("count", 3u64)
+            .with("times", vec![1.0, 2.5, 3.0])
+            .with("nested", Value::object().with("ok", true));
+        assert_eq!(
+            v.to_json(),
+            r#"{"name":"fig11","count":3,"times":[1,2.5,3],"nested":{"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let mut v = Value::object().with("a", 1u64);
+        v.set("a", 2u64);
+        assert_eq!(v.to_json(), r#"{"a":2}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Value::Array(vec![]).to_json(), "[]");
+        assert_eq!(Value::object().to_json(), "{}");
+        assert_eq!(Value::Array(vec![]).to_json_pretty(), "[]");
+        assert_eq!(Value::object().to_json_pretty(), "{}");
+    }
+
+    #[test]
+    fn pretty_printing_shape() {
+        let v = Value::object().with("a", 1u64).with("b", vec![1u64, 2]);
+        let p = v.to_json_pretty();
+        assert_eq!(p, "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn display_matches_compact() {
+        let v = Value::object().with("x", 1.5);
+        assert_eq!(format!("{v}"), v.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn set_on_scalar_panics() {
+        Value::Num(1.0).set("k", 2u64);
+    }
+}

@@ -156,35 +156,51 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use netsim::rng::{SimRng, Xoshiro256StarStar};
 
-    proptest! {
-        /// The time-weighted mean is bounded by the series' min and max.
-        #[test]
-        fn weighted_mean_bounded(vals in proptest::collection::vec(0.0f64..1e9, 2..50)) {
-            let series: Vec<(Time, f64)> =
-                vals.iter().enumerate().map(|(i, &v)| (i as Time * 7, v)).collect();
+    /// The time-weighted mean is bounded by the series' min and max
+    /// (seeded-loop property test).
+    #[test]
+    fn weighted_mean_bounded() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x73D);
+        for _ in 0..256 {
+            let n = rng.gen_range(2..50) as usize;
+            let vals: Vec<f64> = (0..n).map(|_| rng.gen_f64() * 1e9).collect();
+            let series: Vec<(Time, f64)> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as Time * 7, v))
+                .collect();
             let m = time_weighted_mean(&series);
             let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = vals.iter().cloned().fold(0.0f64, f64::max);
             // Relative tolerance: acc/dur can differ from the exact mean
             // by a few ULPs at 1e9 magnitudes.
             let eps = 1e-9 * hi.max(1.0);
-            prop_assert!(m >= lo - eps && m <= hi + eps, "m {m}, lo {lo}, hi {hi}");
+            assert!(m >= lo - eps && m <= hi + eps, "m {m}, lo {lo}, hi {hi}");
         }
+    }
 
-        /// EWMA output stays within the input range and preserves length.
-        #[test]
-        fn ewma_bounded(vals in proptest::collection::vec(-1e6f64..1e6, 1..50),
-                        alpha in 0.01f64..1.0) {
-            let series: Vec<(Time, f64)> =
-                vals.iter().enumerate().map(|(i, &v)| (i as Time, v)).collect();
+    /// EWMA output stays within the input range and preserves length
+    /// (seeded-loop property test over random series and alphas).
+    #[test]
+    fn ewma_bounded() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xE73A);
+        for _ in 0..256 {
+            let n = rng.gen_range(1..50) as usize;
+            let vals: Vec<f64> = (0..n).map(|_| (rng.gen_f64() - 0.5) * 2e6).collect();
+            let alpha = 0.01 + rng.gen_f64() * 0.99;
+            let series: Vec<(Time, f64)> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as Time, v))
+                .collect();
             let e = ewma(&series, alpha);
-            prop_assert_eq!(e.len(), series.len());
+            assert_eq!(e.len(), series.len());
             let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             for (_, v) in e {
-                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+                assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
             }
         }
     }

@@ -88,8 +88,7 @@ impl TrafficMix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use netsim::rng::{SimRng, Xoshiro256StarStar};
 
     #[test]
     fn websearch_is_megabyte_scale() {
@@ -114,7 +113,7 @@ mod tests {
     #[test]
     fn sampling_tail_appears() {
         let cdf = TrafficMix::WebSearch.cdf();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
         let mut seen_large = false;
         let mut seen_small = false;
         for _ in 0..10_000 {

@@ -35,7 +35,10 @@ impl IncastPattern {
     /// `start + e·period`; the caller gets them grouped per epoch.
     pub fn generate(&self) -> Vec<Vec<FlowRequest>> {
         assert!(!self.senders.is_empty());
-        assert!(self.senders.iter().all(|&s| s != self.receiver), "no self-incast");
+        assert!(
+            self.senders.iter().all(|&s| s != self.receiver),
+            "no self-incast"
+        );
         (0..self.epochs)
             .map(|e| {
                 let t = self.start + e as Time * self.period;
@@ -64,10 +67,7 @@ impl IncastPattern {
 /// `fcts[i]` must be the finish time of flow `i` (absolute), `flows per
 /// epoch` = senders.len(). Returns the per-epoch RCT (slowest finish −
 /// epoch start).
-pub fn request_completion_times(
-    pattern: &IncastPattern,
-    finishes: &[Time],
-) -> Vec<Time> {
+pub fn request_completion_times(pattern: &IncastPattern, finishes: &[Time]) -> Vec<Time> {
     let n = pattern.senders.len();
     assert_eq!(finishes.len(), n * pattern.epochs, "one finish per flow");
     (0..pattern.epochs)
@@ -115,9 +115,18 @@ mod tests {
         let p = pattern();
         // Epoch 0 at 1 ms, epoch 1 at 3 ms, epoch 2 at 5 ms.
         let finishes: Vec<Time> = vec![
-            2 * MS, 2 * MS + 1, 2 * MS, 2 * MS, // epoch 0 → RCT 1 ms + 1
-            4 * MS, 3 * MS, 3 * MS, 3 * MS, // epoch 1 → RCT 1 ms
-            6 * MS, 6 * MS, 7 * MS, 6 * MS, // epoch 2 → RCT 2 ms
+            2 * MS,
+            2 * MS + 1,
+            2 * MS,
+            2 * MS, // epoch 0 → RCT 1 ms + 1
+            4 * MS,
+            3 * MS,
+            3 * MS,
+            3 * MS, // epoch 1 → RCT 1 ms
+            6 * MS,
+            6 * MS,
+            7 * MS,
+            6 * MS, // epoch 2 → RCT 2 ms
         ];
         let rct = request_completion_times(&p, &finishes);
         assert_eq!(rct, vec![MS + 1, MS, 2 * MS]);

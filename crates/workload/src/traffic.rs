@@ -6,10 +6,9 @@
 //! come from the selected [`TrafficMix`]; endpoints are uniform over the
 //! class's sender/receiver sets (never self-pairs).
 
+use netsim::rng::{SimRng, Xoshiro256StarStar};
 use netsim::types::NodeId;
 use netsim::units::{Bandwidth, Time, SEC};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::cdf::EmpiricalCdf;
 use crate::dists::TrafficMix;
@@ -34,15 +33,20 @@ pub struct TrafficClass {
 }
 
 /// Generator over one or more classes.
+///
+/// Each `generate` call draws from its own PRNG substream (forked off
+/// the generator's root stream), so classes are statistically
+/// independent and adding a class never perturbs the flows an earlier
+/// class produced under the same seed.
 pub struct TrafficGen {
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
     nic_rate: Bandwidth,
 }
 
 impl TrafficGen {
     pub fn new(seed: u64, nic_rate: Bandwidth) -> Self {
         TrafficGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
             nic_rate,
         }
     }
@@ -51,6 +55,9 @@ impl TrafficGen {
     pub fn generate(&mut self, class: &TrafficClass, t0: Time, duration: Time) -> Vec<FlowRequest> {
         assert!(!class.senders.is_empty() && !class.receivers.is_empty());
         assert!(class.load > 0.0 && class.load <= 1.0, "load {}", class.load);
+        // Independent substream per call: draw counts inside one class
+        // can't shift the randomness of the next class.
+        let mut rng = self.rng.split();
         let cdf: EmpiricalCdf = class.mix.cdf();
         let mean_bytes = cdf.mean();
         // Aggregate flow arrival rate (flows per second).
@@ -61,14 +68,14 @@ impl TrafficGen {
         let end = (t0 + duration) as f64;
         loop {
             // Exponential inter-arrival in picoseconds.
-            let u: f64 = self.rng.gen::<f64>().max(1e-300);
+            let u: f64 = rng.gen_f64().max(1e-300);
             t += -u.ln() / lambda * SEC as f64;
             if t >= end {
                 break;
             }
-            let src = class.senders[self.rng.gen_range(0..class.senders.len())];
+            let src = class.senders[rng.gen_index(class.senders.len())];
             let dst = loop {
-                let d = class.receivers[self.rng.gen_range(0..class.receivers.len())];
+                let d = class.receivers[rng.gen_index(class.receivers.len())];
                 if d != src {
                     break d;
                 }
@@ -76,7 +83,7 @@ impl TrafficGen {
             out.push(FlowRequest {
                 src,
                 dst,
-                size_bytes: cdf.sample(&mut self.rng),
+                size_bytes: cdf.sample(&mut rng),
                 start: t as Time,
             });
         }

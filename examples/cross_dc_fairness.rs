@@ -35,7 +35,12 @@ fn run(name: &str, factory: Box<dyn CcFactory>, dci: DciFeatures) -> (f64, f64, 
         flows.push(sim.add_flow(topo.servers[0][0][i], topo.servers[0][1][i], 1 << 30, MS));
     }
     for i in 0..4 {
-        flows.push(sim.add_flow(topo.servers[0][0][4 + i], topo.servers[1][0][i], 1 << 30, MS));
+        flows.push(sim.add_flow(
+            topo.servers[0][0][4 + i],
+            topo.servers[1][0][i],
+            1 << 30,
+            MS,
+        ));
     }
     sim.set_monitor(MonitorSpec {
         queues: Vec::new(),
@@ -66,8 +71,16 @@ fn run(name: &str, factory: Box<dyn CcFactory>, dci: DciFeatures) -> (f64, f64, 
 
 fn main() {
     println!("8 flows over a 100 Gbps sender-side bottleneck (fair share 12.5 Gbps):");
-    let (_, _, jain_dcqcn) = run("DCQCN", Box::new(DcqcnFactory::default()), DciFeatures::baseline());
-    let (mi, mc, jain_mlcc) = run("MLCC", Box::new(MlccFactory::default()), DciFeatures::mlcc());
+    let (_, _, jain_dcqcn) = run(
+        "DCQCN",
+        Box::new(DcqcnFactory::default()),
+        DciFeatures::baseline(),
+    );
+    let (mi, mc, jain_mlcc) = run(
+        "MLCC",
+        Box::new(MlccFactory::default()),
+        DciFeatures::mlcc(),
+    );
 
     assert!(
         jain_mlcc > jain_dcqcn,

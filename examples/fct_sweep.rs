@@ -76,7 +76,13 @@ fn main() {
     println!("running MLCC…");
     let mlcc = run(Box::new(MlccFactory::default()), DciFeatures::mlcc());
 
-    let mut t = TextTable::new(vec!["class", "metric", "DCQCN (µs)", "MLCC (µs)", "MLCC wins"]);
+    let mut t = TextTable::new(vec![
+        "class",
+        "metric",
+        "DCQCN (µs)",
+        "MLCC (µs)",
+        "MLCC wins",
+    ]);
     for (class, d, m) in [
         ("intra-DC", &dcqcn.intra_dc, &mlcc.intra_dc),
         ("cross-DC", &dcqcn.cross_dc, &mlcc.cross_dc),

@@ -55,5 +55,8 @@ fn main() {
 
     let cross = sim.out.fcts.iter().find(|r| r.flow == f_cross).unwrap();
     let intra = sim.out.fcts.iter().find(|r| r.flow == f_intra).unwrap();
-    assert!(cross.fct() > intra.fct(), "cross-DC flows pay the long-haul RTT");
+    assert!(
+        cross.fct() > intra.fct(),
+        "cross-DC flows pay the long-haul RTT"
+    );
 }

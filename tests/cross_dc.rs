@@ -33,9 +33,7 @@ fn mlcc_cross_flow_completes_and_uses_pfq() {
     let pfq_bytes: u64 = pfq_links
         .iter()
         .filter_map(|l| sim.links[l.index()].pfq.as_ref())
-        .map(|p| {
-            p.get(f).map_or(0, |st| st.enqueued_bytes)
-        })
+        .map(|p| p.get(f).map_or(0, |st| st.enqueued_bytes))
         .sum();
     assert!(
         pfq_bytes >= 5_000_000,
@@ -113,8 +111,7 @@ fn mlcc_incast_keeps_dci_queue_bounded() {
     sim.run();
     let series = sim.out.monitor.queue_sum_series();
     let n = series.len();
-    let tail_avg =
-        series[n - n / 4..].iter().map(|x| x.1).sum::<u64>() / (n / 4).max(1) as u64;
+    let tail_avg = series[n - n / 4..].iter().map(|x| x.1).sum::<u64>() / (n / 4).max(1) as u64;
     assert!(
         tail_avg < 8_000_000,
         "DQM must keep the standing DCI queue small (tail avg {} MB)",
@@ -146,7 +143,12 @@ fn mlcc_many_flows_byte_conservation() {
     for i in 0..6 {
         let size = 200_000 + 137_000 * i as u64;
         total += size;
-        sim.add_flow(dc0[i % dc0.len()], dc1[(i + 1) % dc1.len()], size, i as Time * MS);
+        sim.add_flow(
+            dc0[i % dc0.len()],
+            dc1[(i + 1) % dc1.len()],
+            size,
+            i as Time * MS,
+        );
     }
     assert!(sim.run_until_flows_complete(), "all cross flows complete");
     assert_eq!(sim.total_delivered(), total);

@@ -52,7 +52,11 @@ fn pipeline(f: Box<dyn CcFactory>, dci: DciFeatures) -> (FctBreakdown, usize, us
         sim.add_flow(r.src, r.dst, r.size_bytes, r.start);
     }
     sim.run_until_flows_complete();
-    (FctBreakdown::new(&sim.out.fcts), sim.out.fcts.len(), reqs.len())
+    (
+        FctBreakdown::new(&sim.out.fcts),
+        sim.out.fcts.len(),
+        reqs.len(),
+    )
 }
 
 #[test]
@@ -106,5 +110,9 @@ fn fct_has_physical_floor() {
     // No flow can complete faster than its base RTT + serialization.
     let (stats, _, _) = pipeline(Box::new(MlccFactory::default()), DciFeatures::mlcc());
     // Smallest possible intra flow: ~1 packet, ~25 µs round trip.
-    assert!(stats.intra_dc.p50_us * 1.0 >= 10.0, "p50 {}", stats.intra_dc.p50_us);
+    assert!(
+        stats.intra_dc.p50_us * 1.0 >= 10.0,
+        "p50 {}",
+        stats.intra_dc.p50_us
+    );
 }
