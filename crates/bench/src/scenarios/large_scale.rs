@@ -69,6 +69,7 @@ pub struct LargeScaleResult {
     pub breakdown: FctBreakdown,
     pub flows_total: usize,
     pub flows_completed: usize,
+    /// Total packet drops: buffer overflow plus injected faults.
     pub dropped_packets: u64,
     pub pfc_pauses: u64,
     pub events: u64,
@@ -141,7 +142,7 @@ pub fn run_custom(
         breakdown: FctBreakdown::new(&sim.out.fcts),
         flows_total: requests.len(),
         flows_completed: sim.out.fcts.len(),
-        dropped_packets: sim.out.dropped_packets,
+        dropped_packets: sim.out.total_dropped(),
         pfc_pauses: sim.total_pfc_pauses(),
         events: sim.out.events_processed,
     }

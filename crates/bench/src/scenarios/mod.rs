@@ -1,6 +1,7 @@
 //! Reusable experiment scenarios — one module per family of figures.
 
 pub mod convergence;
+pub mod faults;
 pub mod large_scale;
 pub mod motivation;
 pub mod testbed;

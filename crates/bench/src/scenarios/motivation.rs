@@ -95,6 +95,7 @@ pub fn experiment1(algo: Algo, duration: Time) -> MotivationResult {
         flows,
         pfc_switches: pfc_watch,
         pfq_link: None,
+        fault_links: Vec::new(),
     });
     sim.run();
     let per_flow: Vec<Vec<(Time, f64)>> =
@@ -151,6 +152,7 @@ pub fn experiment2(algo: Algo, duration: Time) -> MotivationResult {
         flows,
         pfc_switches: vec![leaf1],
         pfq_link: None,
+        fault_links: Vec::new(),
     });
     sim.run();
     let per_flow: Vec<Vec<(Time, f64)>> =
@@ -186,6 +188,7 @@ pub fn experiment3(algo: Algo, duration: Time) -> MotivationResult {
         flows,
         pfc_switches: vec![topo.dcis[1]],
         pfq_link: Some(dci_links[0]),
+        fault_links: Vec::new(),
     });
     sim.run();
     let per_flow: Vec<Vec<(Time, f64)>> =

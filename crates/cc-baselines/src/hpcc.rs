@@ -52,6 +52,10 @@ pub struct Hpcc {
     /// Sequence number after which the next reference update may happen.
     update_seq: u64,
     hops: HopHistory,
+    /// Time of the last INT fold, to age out telemetry across dark
+    /// periods (loss bursts, link flaps): per-hop deltas spanning a long
+    /// gap mix pre-gap queue samples with post-gap counters.
+    last_int: Option<Time>,
 }
 
 impl Hpcc {
@@ -69,6 +73,7 @@ impl Hpcc {
             inc_stage: 0,
             update_seq: 0,
             hops: HopHistory::new(),
+            last_int: None,
         }
     }
 
@@ -80,6 +85,18 @@ impl Hpcc {
 
 impl SenderCc for Hpcc {
     fn on_ack(&mut self, ack: &AckView<'_>) {
+        // Age out telemetry across a dark period: re-prime instead of
+        // differencing a record pair that straddles the gap.
+        const STALE_RTT_MULTIPLE: u64 = 16;
+        if self
+            .last_int
+            .is_some_and(|t| ack.now.saturating_sub(t) > STALE_RTT_MULTIPLE * self.base_rtt)
+        {
+            self.hops = HopHistory::new();
+        }
+        if !ack.int.is_empty() {
+            self.last_int = Some(ack.now);
+        }
         let Some(u) = self.hops.max_utilization(ack.int, self.base_rtt, |_| true) else {
             return;
         };
@@ -215,6 +232,24 @@ mod tests {
             assert!(h.window() <= bdp as f64);
             assert!(h.window() >= 1.0);
         }
+    }
+
+    #[test]
+    fn stale_gap_reprimes_instead_of_differencing() {
+        let mut h = Hpcc::new(HpccParams::default(), LINE, BASE);
+        let bdp = bytes_in(BASE, LINE);
+        feed(&mut h, 1, hop(0, 0, 0));
+        feed(&mut h, 1000, hop(BASE, 0, (bdp as f64 * 0.95) as u64));
+        let before = h.window();
+        // Dark for 100 RTTs, then a record showing a big queue. A naive
+        // difference against the pre-gap record would crater the window;
+        // the stale guard re-primes so this ACK is a no-op.
+        let gap = BASE + 100 * BASE;
+        feed(&mut h, 2000, hop(gap, 10 * bdp, bdp));
+        assert_eq!(h.window(), before, "post-gap ACK only re-primes");
+        // Fresh deltas after the re-prime act normally again.
+        feed(&mut h, 3000, hop(gap + BASE, 10 * bdp, 2 * bdp));
+        assert!(h.window() < before);
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub enum HopFilter {
     ExcludeDci,
 }
 
+/// Telemetry older than this many loop base RTTs is stale: the
+/// controller stops trusting MIMD against it and its hop history is
+/// discarded, because per-hop deltas spanning a dark period (loss burst,
+/// link flap) mix pre-gap queue samples with post-gap counters and
+/// produce garbage utilization estimates.
+pub const STALE_RTT_MULTIPLE: u64 = 16;
+
 /// MIMD rate controller over per-hop INT utilization.
 pub struct IntRateController {
     eta: f64,
@@ -35,6 +42,10 @@ pub struct IntRateController {
     r: f64,
     stage: u32,
     last_ref: Time,
+    /// Time of the last INT fold, for staleness detection. `None` until
+    /// the first stack arrives (startup is not "stale" — there is
+    /// nothing to age out).
+    last_int: Option<Time>,
 }
 
 impl IntRateController {
@@ -51,6 +62,7 @@ impl IntRateController {
             r: cap_bps as f64,
             stage: 0,
             last_ref: 0,
+            last_int: None,
         }
     }
 
@@ -106,9 +118,37 @@ impl IntRateController {
         self.r
     }
 
+    /// True when the telemetry feed has gone dark for more than
+    /// [`STALE_RTT_MULTIPLE`] loop RTTs since its last fold. Never true
+    /// before the first fold.
+    pub fn telemetry_stale(&self, now: Time) -> bool {
+        self.last_int
+            .is_some_and(|t| now.saturating_sub(t) > STALE_RTT_MULTIPLE * self.t_base)
+    }
+
+    /// Cautious additive-increase step for when the INT feed is stale:
+    /// the caller still sees forward progress (ACKs arrive) but has no
+    /// trustworthy utilization, so the rate probes upward by `r_ai` per
+    /// loop RTT instead of staying pinned at the last MIMD output.
+    pub fn ai_probe(&mut self, now: Time) -> f64 {
+        self.r = (self.r_c + self.r_ai).clamp(MIN_SEND_RATE_BPS, self.cap);
+        if now >= self.last_ref + self.t_base {
+            self.r_c = self.r;
+            self.last_ref = now;
+        }
+        self.r
+    }
+
     /// Observe and apply in one step (the near-source loop reacts to each
     /// Switch-INT packet as it arrives).
     pub fn on_int(&mut self, stack: &IntStack, now: Time) -> f64 {
+        if self.telemetry_stale(now) {
+            // The gap straddles a dark period: drop the history and
+            // re-prime from this stack rather than differencing across
+            // the gap.
+            self.hops = HopHistory::new();
+        }
+        self.last_int = Some(now);
         if let Some(u) = self.observe(stack) {
             self.apply(u, now);
         }
@@ -120,7 +160,7 @@ impl IntRateController {
 mod tests {
     use super::*;
     use netsim::int::IntHop;
-    use netsim::units::{bytes_in, GBPS, US};
+    use netsim::units::{bytes_in, GBPS, SEC, US};
 
     const CAP: u64 = 25 * GBPS;
     const T: Time = 20 * US;
@@ -210,6 +250,57 @@ mod tests {
             CAP as f64,
             "DCI congestion must not move the credit rate"
         );
+    }
+
+    #[test]
+    fn stale_gap_discards_history_instead_of_differencing() {
+        let mut c = ctl();
+        let bdp = bytes_in(T, CAP);
+        c.on_int(&stack(0, bdp, 0), 0);
+        c.on_int(&stack(T, bdp, bytes_in(T, CAP)), T);
+        let before = c.rate_bps();
+        // Dark for far longer than the stale threshold (a flap window),
+        // then a stack showing a huge standing queue from both sides of
+        // the gap. Differencing across it would slam the rate; instead
+        // the history re-primes and the first post-gap stack is a no-op.
+        let gap = T + (STALE_RTT_MULTIPLE + 10) * T;
+        let r = c.on_int(&stack(gap, 100 * bdp, bytes_in(T, CAP)), gap);
+        assert_eq!(r, before, "first post-gap stack only re-primes");
+        // The *next* stack differences cleanly against the re-primed one.
+        let r2 = c.on_int(&stack(gap + T, 100 * bdp, 2 * bytes_in(T, CAP)), gap + T);
+        assert!(r2 < before, "fresh deltas drive MD again: {r2}");
+    }
+
+    #[test]
+    fn staleness_detection_and_ai_fallback() {
+        let mut c = ctl();
+        assert!(
+            !c.telemetry_stale(SEC),
+            "startup is not stale (nothing to age out)"
+        );
+        c.on_int(&stack(0, 0, 0), 0);
+        assert!(!c.telemetry_stale(STALE_RTT_MULTIPLE * T));
+        assert!(c.telemetry_stale(STALE_RTT_MULTIPLE * T + T + 1));
+        // AI fallback probes upward from a depressed rate, ~one r_ai per
+        // loop RTT, and stays within bounds.
+        c.r = CAP as f64 / 10.0;
+        c.r_c = c.r;
+        let start = c.r;
+        let a = c.r_ai;
+        let t0 = 2 * STALE_RTT_MULTIPLE * T;
+        // A burst of probes within one loop RTT must not compound: at
+        // most two AI steps (the reference advances once).
+        for i in 0..50 {
+            c.ai_probe(t0 + i);
+        }
+        assert!(c.rate_bps() <= start + 2.0 * a + 1.0, "{}", c.rate_bps());
+        // Probing across windows ramps additively, one step per window.
+        for w in 1..=10u64 {
+            c.ai_probe(t0 + w * T);
+        }
+        assert!(c.rate_bps() >= start + 10.0 * a, "{}", c.rate_bps());
+        assert!(c.rate_bps() <= start + 13.0 * a, "{}", c.rate_bps());
+        assert!(c.rate_bps() <= CAP as f64);
     }
 
     #[test]

@@ -56,8 +56,18 @@ impl SenderCc for MlccSender {
             if let Some(r) = ack.r_dqm_bps {
                 self.r_dqm_bar = r as f64;
             }
+            // The near-source loop is fed by Switch-INT; if that feed
+            // has gone dark (loss burst or flap ate the control packets)
+            // while ACKs still show forward progress, probe upward
+            // additively instead of staying pinned at the last — now
+            // meaningless — MIMD output.
+            if self.ns.telemetry_stale(ack.now) {
+                self.ns.ai_probe(ack.now);
+            }
         } else if !ack.int.is_empty() {
             self.ns.on_int(ack.int, ack.now);
+        } else if self.ns.telemetry_stale(ack.now) {
+            self.ns.ai_probe(ack.now);
         }
     }
 
@@ -163,6 +173,33 @@ mod tests {
             ));
         }
         assert!(s.rate_bps() < 0.6 * LINE as f64, "{}", s.rate_bps());
+    }
+
+    #[test]
+    fn stale_switch_int_falls_back_to_additive_increase() {
+        use crate::rate_ctl::STALE_RTT_MULTIPLE;
+        let p = MlccParams::default();
+        let t = 20 * US;
+        let mut s = MlccSender::new(&p, LINE, t, true);
+        // Congest the near-source loop so R_NS sits well below line rate.
+        let q = 10 * bytes_in(t, LINE);
+        s.on_switch_int(&stack(0, q, 0), 0);
+        for i in 1..=10u64 {
+            s.on_switch_int(&stack(i * t, q, i * bytes_in(t, LINE)), i * t);
+        }
+        let depressed = s.r_ns_bps();
+        assert!(depressed < 0.6 * LINE as f64);
+        // Switch-INT goes dark (flap), but ACKs keep arriving: R_NS must
+        // climb back instead of staying pinned at the stale output.
+        let empty = IntStack::new();
+        let dark_from = 10 * t + (STALE_RTT_MULTIPLE + 1) * t;
+        let mut last = depressed;
+        for k in 0..200u64 {
+            s.on_ack(&ack(100 + k, None, &empty, dark_from + k * t));
+            assert!(s.r_ns_bps() >= last, "AI fallback never decreases");
+            last = s.r_ns_bps();
+        }
+        assert!(last > depressed, "stale NS loop must probe upward");
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub struct SimConfig {
     /// Payload bytes per full-size data packet (wire adds the header
     /// budget).
     pub mtu_payload: u32,
-    /// RNG seed (ECN marking decisions and anything stochastic).
+    /// RNG seed. Everything stochastic keys off it through independent
+    /// substreams: the ECN sampler uses the seed directly, and each
+    /// fault-injected link derives its own substream from
+    /// `(seed, link id)` (see [`crate::fault`]), so enabling one source
+    /// of randomness never perturbs another.
     pub seed: u64,
     /// Hard stop time.
     pub stop_time: Time,

@@ -33,6 +33,9 @@ pub enum Event {
     /// A PFC pause/resume frame takes effect at the receiving end of
     /// `link` (pause frames bypass queues; only propagation delay applies).
     PfcUpdate { link: LinkId, paused: bool },
+    /// A scheduled fault transition: `link` goes down (`down = true`) or
+    /// comes back up. Packets serialized while down are black-holed.
+    LinkFault { link: LinkId, down: bool },
 }
 
 /// A scheduled event. Ordering: time, then insertion sequence — two events

@@ -17,6 +17,11 @@ use crate::types::{FlowId, LinkId, NodeId};
 use crate::units::tx_time;
 use crate::units::{Time, MS, SEC};
 
+/// Exponential-backoff cap: the RTO never exceeds `base << MAX_RTO_SHIFT`
+/// (16× base). Bounded so a flow behind a long flap window still probes
+/// within a handful of base RTOs of the link coming back.
+pub const MAX_RTO_SHIFT: u32 = 4;
+
 /// Sender-side state of one flow.
 pub struct SendFlow {
     pub spec: FlowSpec,
@@ -32,8 +37,17 @@ pub struct SendFlow {
     pub timer_at: Option<Time>,
     /// Bytes acked as of the last RTO check (progress detection).
     pub rto_progress: u64,
-    /// Retransmission timeout interval.
-    pub rto: Time,
+    /// Base retransmission timeout interval (4×RTT, floored at 1 ms).
+    pub rto_base: Time,
+    /// Current backoff exponent: the effective RTO is
+    /// `rto_base << rto_shift`. Bumped on every no-progress timeout,
+    /// reset to zero when an ACK advances `bytes_acked`.
+    pub rto_shift: u32,
+    /// Mirror of the currently scheduled RTO check, to drop stale
+    /// events (same pattern as `timer_at`). Invariant: `Some` whenever
+    /// the flow is not done, so an RTO check is always pending while
+    /// bytes can still be unacknowledged.
+    pub rto_at: Option<Time>,
     pub done: bool,
     /// Count of go-back-N retransmissions triggered.
     pub retransmits: u64,
@@ -43,6 +57,12 @@ impl SendFlow {
     #[inline]
     fn inflight(&self) -> u64 {
         self.bytes_sent.saturating_sub(self.bytes_acked)
+    }
+
+    /// Current (backed-off) retransmission timeout interval.
+    #[inline]
+    pub fn rto_interval(&self) -> Time {
+        self.rto_base << self.rto_shift.min(MAX_RTO_SHIFT)
     }
 
     /// Whether this flow could transmit at time `now` (ignoring pacing).
@@ -87,6 +107,11 @@ pub struct HostOutput {
     pub completed: Option<FctRecord>,
     /// CC timers to (re)schedule: (flow, absolute time).
     pub timers: Vec<(FlowId, Time)>,
+    /// RTO checks to (re)schedule: (flow, absolute time). Emitted when
+    /// ACK progress resets the backoff and the pending (backed-off)
+    /// check sits too far in the future, or when the chain must be
+    /// re-armed.
+    pub rto_checks: Vec<(FlowId, Time)>,
     /// A sending flow just became fully acknowledged.
     pub sender_done: bool,
 }
@@ -128,7 +153,7 @@ impl Host {
         cc: Box<dyn SenderCc>,
         now: Time,
     ) -> Option<(FlowId, Time)> {
-        let rto = (4 * path.base_rtt).max(1 * MS);
+        let rto_base = (4 * path.base_rtt).max(1 * MS);
         let timer = cc.next_timer();
         let flow = SendFlow {
             spec,
@@ -139,7 +164,9 @@ impl Host {
             next_avail: now,
             timer_at: timer,
             rto_progress: 0,
-            rto,
+            rto_base,
+            rto_shift: 0,
+            rto_at: None,
             done: false,
             retransmits: 0,
         };
@@ -279,7 +306,8 @@ impl Host {
         let Some(f) = self.send.get_mut(&pkt.flow) else {
             return out;
         };
-        if pkt.seq > f.bytes_acked {
+        let progressed = pkt.seq > f.bytes_acked;
+        if progressed {
             f.bytes_acked = pkt.seq;
         }
         let view = AckView {
@@ -294,6 +322,22 @@ impl Host {
         if !f.done && f.bytes_acked >= f.spec.size_bytes {
             f.done = true;
             out.sender_done = true;
+        }
+        // RTO supervision. Progress resets the exponential backoff; if
+        // the pending check was scheduled under backoff and now sits
+        // beyond one base interval, pull it in so the *next* stall is
+        // detected at base cadence. Re-arm a dead chain unconditionally
+        // (a live flow must always have a check pending).
+        if !f.done {
+            if progressed {
+                f.rto_shift = 0;
+            }
+            let want = now + f.rto_interval();
+            let pull_in = progressed && f.rto_at.is_some_and(|t| t > want);
+            if f.rto_at.is_none() || pull_in {
+                f.rto_at = Some(want);
+                out.rto_checks.push((f.spec.id, want));
+            }
         }
         Self::sync_timer(f, &mut out);
         out
@@ -342,30 +386,62 @@ impl Host {
         }
     }
 
-    /// Periodic retransmission check. Returns true when a go-back-N
-    /// retransmission was triggered (the caller should kick the uplink).
-    pub fn on_rto_check(&mut self, flow: FlowId, now: Time) -> bool {
-        let Some(f) = self.send.get_mut(&flow) else {
-            return false;
-        };
+    /// Arm the RTO check chain for a freshly started flow. Returns the
+    /// absolute time of the first check (always `Some` for a live flow).
+    pub fn arm_rto(&mut self, flow: FlowId, now: Time) -> Option<Time> {
+        let f = self.send.get_mut(&flow)?;
         if f.done {
-            return false;
+            return None;
+        }
+        let at = now + f.rto_interval();
+        f.rto_at = Some(at);
+        Some(at)
+    }
+
+    /// An RTO check event fired at `now`. Returns
+    /// `(retransmitted, next check time)`; the caller kicks the uplink
+    /// on retransmission and schedules the next check.
+    ///
+    /// Stale events (superseded by a pulled-in check after ACK
+    /// progress) are identified by the `rto_at` mirror and ignored. A
+    /// no-progress interval with bytes outstanding triggers a go-back-N
+    /// rewind and doubles the interval, up to [`MAX_RTO_SHIFT`]; the
+    /// chain re-arms itself as long as the flow is live, so a flow that
+    /// went idle behind a flap window keeps being supervised.
+    pub fn on_rto_check(&mut self, flow: FlowId, now: Time) -> (bool, Option<Time>) {
+        let Some(f) = self.send.get_mut(&flow) else {
+            return (false, None);
+        };
+        if f.rto_at != Some(now) {
+            return (false, None); // stale event
+        }
+        f.rto_at = None;
+        if f.done {
+            return (false, None);
         }
         let progressed = f.bytes_acked > f.rto_progress;
         f.rto_progress = f.bytes_acked;
+        let mut retx = false;
         if !progressed && f.inflight() > 0 {
-            // No progress for a full RTO with bytes outstanding: rewind.
+            // No progress for a full RTO with bytes outstanding: rewind
+            // and back off exponentially.
             f.bytes_sent = f.bytes_acked;
             f.next_avail = now;
             f.retransmits += 1;
-            return true;
+            f.rto_shift = (f.rto_shift + 1).min(MAX_RTO_SHIFT);
+            retx = true;
         }
-        false
+        let at = now + f.rto_interval();
+        f.rto_at = Some(at);
+        (retx, Some(at))
     }
 
-    /// Whether the flow still needs RTO supervision.
+    /// Current RTO interval of a flow still under supervision.
     pub fn needs_rto(&self, flow: FlowId) -> Option<Time> {
-        self.send.get(&flow).filter(|f| !f.done).map(|f| f.rto)
+        self.send
+            .get(&flow)
+            .filter(|f| !f.done)
+            .map(|f| f.rto_interval())
     }
 
     /// Remove completed flows from the round-robin ring (cheap GC called
@@ -544,9 +620,138 @@ mod tests {
         assert_eq!(h.send_flow(FlowId(0)).unwrap().bytes_sent, 3000);
         // First check records progress baseline (bytes_acked==0 initially
         // equals rto_progress==0 → "no progress" with inflight → rewind).
-        assert!(h.on_rto_check(FlowId(0), 50 * MS));
+        let at = h.arm_rto(FlowId(0), 0).unwrap();
+        let (retx, next) = h.on_rto_check(FlowId(0), at);
+        assert!(retx);
+        assert!(next.is_some(), "chain must re-arm after a rewind");
         assert_eq!(h.send_flow(FlowId(0)).unwrap().bytes_sent, 0);
         assert_eq!(h.send_flow(FlowId(0)).unwrap().retransmits, 1);
+    }
+
+    #[test]
+    fn rto_stale_events_are_ignored() {
+        let mut h = host_with_flow(25e9, 10_000);
+        let mut id = 0;
+        let _ = h.next_data_packet(0, &mut id);
+        let at = h.arm_rto(FlowId(0), 0).unwrap();
+        // An event at a time the mirror doesn't expect is stale: no
+        // rewind, no rescheduling (the real chain stays pending).
+        let (retx, next) = h.on_rto_check(FlowId(0), at + 1);
+        assert!(!retx && next.is_none());
+        assert_eq!(h.send_flow(FlowId(0)).unwrap().rto_at, Some(at));
+        // The genuine event still fires.
+        let (retx, _) = h.on_rto_check(FlowId(0), at);
+        assert!(retx);
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially_and_caps() {
+        let mut h = host_with_flow(25e9, 10_000);
+        let mut id = 0;
+        let _ = h.next_data_packet(0, &mut id);
+        let base = h.send_flow(FlowId(0)).unwrap().rto_base;
+        let mut at = h.arm_rto(FlowId(0), 0).unwrap();
+        assert_eq!(at, base);
+        let mut intervals = Vec::new();
+        for _ in 0..7 {
+            let (retx, next) = h.on_rto_check(FlowId(0), at);
+            assert!(retx, "stalled flow rewinds every time");
+            let next = next.unwrap();
+            intervals.push(next - at);
+            // Go-back-N resend so bytes stay in flight for the next check.
+            match h.next_data_packet(at, &mut id) {
+                HostTx::Packet(_) => {}
+                _ => panic!("rewind must make the flow sendable again"),
+            }
+            at = next;
+        }
+        // Doubling per stall, capped at 16× base.
+        let want: Vec<Time> = vec![
+            2 * base,
+            4 * base,
+            8 * base,
+            16 * base,
+            16 * base,
+            16 * base,
+            16 * base,
+        ];
+        assert_eq!(intervals, want);
+    }
+
+    #[test]
+    fn ack_progress_resets_backoff_and_pulls_in_check() {
+        let mut h = host_with_flow(25e9, 10_000);
+        let mut id = 0;
+        let p1 = match h.next_data_packet(0, &mut id) {
+            HostTx::Packet(p) => p,
+            _ => panic!(),
+        };
+        let mut at = h.arm_rto(FlowId(0), 0).unwrap();
+        // Three stalls (resending after each rewind): shift = 3, next
+        // check far out.
+        for _ in 0..3 {
+            let (retx, next) = h.on_rto_check(FlowId(0), at);
+            assert!(retx);
+            match h.next_data_packet(at, &mut id) {
+                HostTx::Packet(_) => {}
+                _ => panic!(),
+            }
+            at = next.unwrap();
+        }
+        assert_eq!(h.send_flow(FlowId(0)).unwrap().rto_shift, 3);
+        // Progress: backoff resets and the distant check is pulled in
+        // (the ACK lands more than one base interval before the
+        // backed-off check, so a base-cadence check beats it).
+        let now = at - 2 * h.send_flow(FlowId(0)).unwrap().rto_base;
+        let ack = Packet::ack_for(99, &p1, 1000, now);
+        let out = h.on_ack(&ack, now);
+        let f = h.send_flow(FlowId(0)).unwrap();
+        assert_eq!(f.rto_shift, 0);
+        assert_eq!(out.rto_checks, vec![(FlowId(0), now + f.rto_base)]);
+        assert_eq!(f.rto_at, Some(now + f.rto_base));
+        // The old (superseded) event is now stale.
+        let (retx, next) = h.on_rto_check(FlowId(0), at);
+        assert!(!retx && next.is_none());
+    }
+
+    #[test]
+    fn rto_check_always_pending_while_unacked() {
+        // Regression: the check chain must survive arbitrary interleaving
+        // of checks and ACKs — a live flow always has rto_at set.
+        let mut h = host_with_flow(25e9, 3000);
+        let mut id = 0;
+        for _ in 0..3 {
+            let _ = h.next_data_packet(h.send_flow(FlowId(0)).unwrap().next_avail, &mut id);
+        }
+        let mut at = h.arm_rto(FlowId(0), 0).unwrap();
+        let mut acked = 0u64;
+        for round in 0..30u64 {
+            let f = h.send_flow(FlowId(0)).unwrap();
+            if f.done {
+                break;
+            }
+            assert!(
+                f.rto_at.is_some(),
+                "round {round}: live flow lost RTO supervision"
+            );
+            let (_, next) = h.on_rto_check(FlowId(0), at);
+            let Some(t) = next else { break };
+            at = t;
+            if round % 3 == 2 && acked < 3000 {
+                // Partial progress via a synthetic cumulative ACK.
+                acked += 1000;
+                let d = Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0);
+                let ack = Packet::ack_for(50 + round, &d, acked, at - 1);
+                let out = h.on_ack(&ack, at - 1);
+                // An emitted rto_check supersedes our local `at`.
+                if let Some(&(_, t)) = out.rto_checks.last() {
+                    at = t;
+                }
+            }
+        }
+        // Fully acked → done → supervision ends.
+        assert!(h.send_flow(FlowId(0)).unwrap().done);
+        assert!(h.needs_rto(FlowId(0)).is_none());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod cc;
 pub mod config;
 pub mod ecn;
 pub mod event;
+pub mod fault;
 pub mod flow;
 pub mod host;
 pub mod int;
@@ -68,6 +69,7 @@ pub mod prelude {
     };
     pub use crate::config::{DciFeatures, SimConfig};
     pub use crate::ecn::EcnConfig;
+    pub use crate::fault::{FaultProfile, FaultState, FlapWindow, GilbertElliott};
     pub use crate::flow::{FctRecord, FlowPath, FlowSpec};
     pub use crate::int::{HopHistory, IntHop, IntStack};
     pub use crate::link::LinkOpts;

@@ -7,6 +7,7 @@
 //! egress that feeds the congested ingress.
 
 use crate::ecn::EcnConfig;
+use crate::fault::FaultState;
 use crate::pfq::PfqSet;
 use crate::queue::PrioQueues;
 use crate::types::{LinkId, NodeId};
@@ -65,6 +66,9 @@ pub struct Link {
     pub pfq_wake_at: Option<Time>,
     /// INT hop identifier (unique per link).
     pub hop_id: u32,
+    /// Fault-injection state (see [`crate::fault`]); `None` on healthy
+    /// links, which then perform no fault bookkeeping or RNG draws.
+    pub faults: Option<Box<FaultState>>,
 }
 
 impl Link {
@@ -109,6 +113,7 @@ mod tests {
             tx_bytes: 0,
             pfq_wake_at: None,
             hop_id: 0,
+            faults: None,
         }
     }
 

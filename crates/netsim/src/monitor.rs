@@ -19,6 +19,9 @@ pub struct MonitorSpec {
     pub pfc_switches: Vec<NodeId>,
     /// Per-flow PFQ occupancy to sample at this DCI egress, if any.
     pub pfq_link: Option<LinkId>,
+    /// Fault-injected links whose cumulative fault-drop counters to
+    /// sample (time series around loss episodes and flap windows).
+    pub fault_links: Vec<LinkId>,
 }
 
 /// One sampling instant.
@@ -33,6 +36,8 @@ pub struct Sample {
     pub pfc_pauses: Vec<u64>,
     /// (flow, queued bytes) pairs at the PFQ link, if sampled.
     pub pfq_per_flow: Vec<(FlowId, u64)>,
+    /// Cumulative fault drops, aligned with `MonitorSpec::fault_links`.
+    pub fault_drops: Vec<u64>,
 }
 
 /// Collected time series.
@@ -98,6 +103,16 @@ impl MonitorLog {
             .max()
             .unwrap_or(0)
     }
+
+    /// Fault-drop increments between samples for the i-th fault link.
+    pub fn fault_drop_increments(&self, link_idx: usize) -> Vec<(Time, u64)> {
+        let mut out = Vec::new();
+        for w in self.samples.windows(2) {
+            let d = w[1].fault_drops[link_idx].saturating_sub(w[0].fault_drops[link_idx]);
+            out.push((w[1].t, d));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +126,7 @@ mod tests {
                 queues: vec![LinkId(0)],
                 flows: vec![FlowId(0)],
                 pfc_switches: vec![NodeId(0)],
-                pfq_link: None,
+                ..MonitorSpec::default()
             },
             samples,
         }
@@ -124,6 +139,7 @@ mod tests {
             flow_rx_bytes: vec![rx],
             pfc_pauses: vec![pfc],
             pfq_per_flow: Vec::new(),
+            fault_drops: Vec::new(),
         }
     }
 
@@ -150,6 +166,21 @@ mod tests {
         assert_eq!(log.queue_peak(0), 50);
         assert_eq!(log.queue_series(0)[1], (SEC, 50));
         assert_eq!(log.queue_sum_series()[2], (2 * SEC, 20));
+    }
+
+    #[test]
+    fn fault_drop_increments_from_cumulative() {
+        let mut log = MonitorLog::new(MonitorSpec {
+            fault_links: vec![LinkId(9)],
+            ..MonitorSpec::default()
+        });
+        for (t, d) in [(0, 0), (1, 2), (2, 2), (3, 10)] {
+            let mut s = sample(t, 0, 0, 0);
+            s.fault_drops = vec![d];
+            log.samples.push(s);
+        }
+        let inc = log.fault_drop_increments(0);
+        assert_eq!(inc.iter().map(|x| x.1).collect::<Vec<_>>(), vec![2, 0, 8]);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::cc::{CcEnv, CcFactory};
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultProfile, FaultState};
 use crate::flow::{FctRecord, FlowPath, FlowSpec};
 use crate::host::HostTx;
 use crate::int::IntHop;
@@ -18,7 +19,7 @@ use crate::routing::RoutingTables;
 use crate::topology::Network;
 use crate::trace::{Trace, TraceEvent};
 use crate::types::{FlowId, LinkId, NodeId, Priority};
-use crate::units::{tx_time, Time, MS, US};
+use crate::units::{tx_time, Time, US};
 
 /// Everything a run produces.
 #[derive(Default)]
@@ -31,11 +32,28 @@ pub struct SimOutput {
     pub monitor: MonitorLog,
     pub events_processed: u64,
     pub finished_at: Time,
-    /// Aggregated at finalize.
-    pub dropped_packets: u64,
+    /// Shared-buffer overflow drops at switches (congestion loss),
+    /// aggregated at finalize. Zero on a lossless (PFC) fabric even
+    /// when fault injection is active.
+    pub buffer_drops: u64,
+    /// Packets discarded by injected link faults (random loss, burst
+    /// loss, down links), aggregated at finalize.
+    pub fault_drops: u64,
+    /// Packets whose arrival was delayed by injected jitter.
+    pub fault_jittered: u64,
+    /// Down transitions of fault-injected links that actually fired.
+    pub link_flaps: u64,
     pub retransmits: u64,
     /// Data packets CE-marked at switch enqueue.
     pub ecn_marks: u64,
+}
+
+impl SimOutput {
+    /// All packet loss, regardless of cause.
+    #[inline]
+    pub fn total_dropped(&self) -> u64 {
+        self.buffer_drops + self.fault_drops
+    }
 }
 
 /// The simulator.
@@ -93,6 +111,27 @@ impl Simulator {
     /// Attach a flight recorder with the given ring capacity.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Attach a fault profile to one link (call before running).
+    ///
+    /// The link gets its own RNG substream keyed by `(cfg.seed, link)`,
+    /// so injecting faults here never perturbs draws anywhere else —
+    /// see [`crate::fault`] for the full determinism contract. Inert
+    /// profiles are ignored entirely.
+    pub fn inject_link_faults(&mut self, link: LinkId, profile: FaultProfile) {
+        profile.validate();
+        if !profile.is_active() {
+            return;
+        }
+        for w in &profile.flaps {
+            self.events
+                .schedule(w.down_at, Event::LinkFault { link, down: true });
+            self.events
+                .schedule(w.up_at, Event::LinkFault { link, down: false });
+        }
+        let st = FaultState::new(profile, self.cfg.seed, link.0 as u64);
+        self.links[link.index()].faults = Some(Box::new(st));
     }
 
     #[inline]
@@ -211,12 +250,20 @@ impl Simulator {
 
     fn finalize(&mut self) {
         self.out.finished_at = self.now;
-        self.out.dropped_packets = self
+        self.out.buffer_drops = self
             .nodes
             .iter()
             .filter_map(|n| n.as_switch())
             .map(|s| s.buffer.dropped_packets)
             .sum();
+        self.out.fault_drops = 0;
+        self.out.fault_jittered = 0;
+        for lk in &self.links {
+            if let Some(fs) = &lk.faults {
+                self.out.fault_drops += fs.drops;
+                self.out.fault_jittered += fs.jittered;
+            }
+        }
         self.out.retransmits = self
             .nodes
             .iter()
@@ -268,6 +315,22 @@ impl Simulator {
                     self.try_start_tx(link);
                 }
             }
+            Event::LinkFault { link, down } => {
+                if let Some(fs) = self.links[link.index()].faults.as_mut() {
+                    fs.down = down;
+                }
+                if down {
+                    self.out.link_flaps += 1;
+                    self.record(TraceEvent::LinkDown { link });
+                } else {
+                    self.record(TraceEvent::LinkUp { link });
+                    // Anything queued behind the dead serializer may flow
+                    // again (the serializer itself kept draining — down
+                    // only black-holes the wire — but a kick is harmless
+                    // and covers links that went idle while dark).
+                    self.try_start_tx(link);
+                }
+            }
         }
     }
 
@@ -295,13 +358,13 @@ impl Simulator {
         if let Some(h) = self.nodes[spec.dst.index()].as_host_mut() {
             h.add_recv_flow(spec, path, receiver);
         }
-        let (timer, uplink, rto) = {
+        let (timer, uplink, rto_at) = {
             let h = self.nodes[spec.src.index()]
                 .as_host_mut()
                 .expect("flow source is a host");
             let timer = h.add_send_flow(spec, path, sender, self.now);
-            let rto = h.needs_rto(fid).unwrap_or(MS);
-            (timer, h.uplink, rto)
+            let rto_at = h.arm_rto(fid, self.now);
+            (timer, h.uplink, rto_at)
         };
         if let Some((f, at)) = timer {
             self.events.schedule(
@@ -312,13 +375,15 @@ impl Simulator {
                 },
             );
         }
-        self.events.schedule(
-            self.now + rto,
-            Event::RtoCheck {
-                node: spec.src,
-                flow: fid,
-            },
-        );
+        if let Some(at) = rto_at {
+            self.events.schedule(
+                at,
+                Event::RtoCheck {
+                    node: spec.src,
+                    flow: fid,
+                },
+            );
+        }
         self.try_start_tx(uplink);
     }
 
@@ -346,6 +411,9 @@ impl Simulator {
         }
         for (f, at) in out.timers {
             self.events.schedule(at, Event::CcTimer { node, flow: f });
+        }
+        for (f, at) in out.rto_checks {
+            self.events.schedule(at, Event::RtoCheck { node, flow: f });
         }
         if let Some(rec) = out.completed {
             self.record(TraceEvent::FlowCompleted {
@@ -656,7 +724,8 @@ impl Simulator {
             }
         }
 
-        // Start serialization.
+        // Start serialization. The serializer always runs for the full
+        // wire time — fault injection decides what the far end sees.
         let (ser, delay) = {
             let lk = &mut self.links[l.index()];
             lk.tx_bytes += pkt.size as u64;
@@ -665,13 +734,31 @@ impl Simulator {
         };
         self.events
             .schedule(now + ser, Event::TxComplete { link: l });
-        self.events.schedule(
-            now + ser + delay,
-            Event::Arrival {
+        let mut arrival_at = Some(now + ser + delay);
+        if let Some(fs) = self.links[l.index()].faults.as_mut() {
+            if fs.down {
+                // Black hole: data and control alike die on a dark wire.
+                fs.down_drop();
+                arrival_at = None;
+            } else if fs.loses(pkt.is_data()) {
+                arrival_at = None;
+            } else {
+                arrival_at = arrival_at.map(|t| fs.jittered_arrival(t));
+            }
+        }
+        match arrival_at {
+            Some(at) => self.events.schedule(
+                at,
+                Event::Arrival {
+                    link: l,
+                    packet: pkt,
+                },
+            ),
+            None => self.record(TraceEvent::PacketLost {
+                flow: pkt.flow,
                 link: l,
-                packet: pkt,
-            },
-        );
+            }),
+        }
 
         if let Some(fb) = feedback {
             self.forward_from(src, None, fb);
@@ -690,22 +777,20 @@ impl Simulator {
         for (f, at) in out.timers {
             self.events.schedule(at, Event::CcTimer { node, flow: f });
         }
+        for (f, at) in out.rto_checks {
+            self.events.schedule(at, Event::RtoCheck { node, flow: f });
+        }
         self.try_start_tx(uplink);
     }
 
     fn handle_rto(&mut self, node: NodeId, flow: FlowId) {
         let now = self.now;
-        let (needs, retx, uplink) = {
+        let (retx, next, uplink) = {
             let Some(h) = self.nodes[node.index()].as_host_mut() else {
                 return;
             };
-            let needs = h.needs_rto(flow);
-            let retx = if needs.is_some() {
-                h.on_rto_check(flow, now)
-            } else {
-                false
-            };
-            (needs, retx, h.uplink)
+            let (retx, next) = h.on_rto_check(flow, now);
+            (retx, next, h.uplink)
         };
         if retx {
             let from_seq = self.nodes[node.index()]
@@ -715,9 +800,8 @@ impl Simulator {
             self.record(TraceEvent::Retransmit { flow, from_seq });
             self.try_start_tx(uplink);
         }
-        if let Some(rto) = needs {
-            self.events
-                .schedule(now + rto, Event::RtoCheck { node, flow });
+        if let Some(at) = next {
+            self.events.schedule(at, Event::RtoCheck { node, flow });
         }
     }
 
@@ -729,6 +813,7 @@ impl Simulator {
             flow_rx_bytes: Vec::new(),
             pfc_pauses: Vec::new(),
             pfq_per_flow: Vec::new(),
+            fault_drops: Vec::new(),
         };
         // Sample against the spec without holding a borrow on out.monitor.
         let n_q = self.out.monitor.spec.queues.len();
@@ -759,6 +844,12 @@ impl Simulator {
             if let Some(pfq) = self.links[pl.index()].pfq.as_ref() {
                 s.pfq_per_flow = pfq.per_flow_bytes().collect();
             }
+        }
+        let n_fl = self.out.monitor.spec.fault_links.len();
+        for i in 0..n_fl {
+            let l = self.out.monitor.spec.fault_links[i];
+            s.fault_drops
+                .push(self.links[l.index()].faults.as_ref().map_or(0, |f| f.drops));
         }
         self.out.monitor.samples.push(s);
         let next = now + self.cfg.monitor_interval;
@@ -836,7 +927,7 @@ mod tests {
         let ideal = tx_time(100 * 1048, 10 * GBPS);
         assert!(fct >= ideal, "fct {fct} < ideal {ideal}");
         assert!(fct < ideal + 20 * US, "fct {fct} ≫ ideal {ideal}");
-        assert_eq!(sim.out.dropped_packets, 0);
+        assert_eq!(sim.out.total_dropped(), 0);
         assert_eq!(sim.out.retransmits, 0);
     }
 
@@ -870,7 +961,7 @@ mod tests {
         sim.add_flow(h0, h1, 500_000, 0);
         sim.add_flow(h2, h1, 500_000, 0);
         assert!(sim.run_until_flows_complete());
-        assert_eq!(sim.out.dropped_packets, 0, "lossless fabric");
+        assert_eq!(sim.out.buffer_drops, 0, "lossless fabric");
         // Two 10G senders into one 10G sink: finishing takes at least
         // 2 × 500 KB at 10 Gbps.
         let min_time = tx_time(2 * 500_000, 10 * GBPS);
@@ -895,7 +986,7 @@ mod tests {
         sim.add_flow(h2, h1, 2_000_000, 0);
         assert!(sim.run_until_flows_complete());
         assert!(sim.total_pfc_pauses() > 0, "incast must trigger PFC");
-        assert_eq!(sim.out.dropped_packets, 0, "PFC prevents loss");
+        assert_eq!(sim.out.buffer_drops, 0, "PFC prevents loss");
         assert!(!sim.out.pfc_events.is_empty());
     }
 
@@ -918,7 +1009,7 @@ mod tests {
         sim.add_flow(h0, h1, 1_000_000, 0);
         sim.add_flow(h2, h1, 1_000_000, 0);
         let done = sim.run_until_flows_complete();
-        assert!(sim.out.dropped_packets > 0, "no PFC → overflow drops");
+        assert!(sim.out.buffer_drops > 0, "no PFC → overflow drops");
         assert!(done, "go-back-N still completes the flows");
         assert!(sim.out.retransmits > 0);
     }
@@ -1001,7 +1092,7 @@ mod tests {
             queues: vec![uplink],
             flows: vec![FlowId(0)],
             pfc_switches: vec![NodeId(2)],
-            pfq_link: None,
+            ..crate::monitor::MonitorSpec::default()
         });
         sim.add_flow(NodeId(0), NodeId(1), 100_000, 0);
         sim.run();
@@ -1048,5 +1139,160 @@ mod tests {
             (sim.out.fcts[0].fct(), sim.out.events_processed)
         };
         assert_eq!(run(), run());
+    }
+
+    // -----------------------------------------------------------------
+    // Fault injection
+    // -----------------------------------------------------------------
+
+    use crate::fault::{FaultProfile, GilbertElliott};
+    use crate::units::SEC;
+
+    /// In `line_net`, the data path h0→h1 crosses LinkId(0) (h0→s) and
+    /// LinkId(3) (s→h1); ACKs return over LinkId(2) and LinkId(1).
+    const DATA_LAST_HOP: LinkId = LinkId(3);
+
+    #[test]
+    fn inert_profile_is_never_attached() {
+        let run = |inject: bool| {
+            let net = line_net();
+            let mut sim = Simulator::new(net, SimConfig::default(), Box::new(NoCcFactory));
+            if inject {
+                sim.inject_link_faults(DATA_LAST_HOP, FaultProfile::default());
+                assert!(
+                    sim.links[DATA_LAST_HOP.index()].faults.is_none(),
+                    "inert profile must not allocate fault state"
+                );
+            }
+            sim.add_flow(NodeId(0), NodeId(1), 250_000, 0);
+            sim.run_until_flows_complete();
+            (sim.out.fcts[0].fct(), sim.out.events_processed)
+        };
+        assert_eq!(run(true), run(false), "default profile is a no-op");
+    }
+
+    #[test]
+    fn uniform_loss_forces_retransmission_but_flow_completes() {
+        let net = line_net();
+        let cfg = SimConfig {
+            stop_time: 2 * SEC,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(net, cfg, Box::new(NoCcFactory));
+        sim.enable_trace(1 << 16);
+        sim.inject_link_faults(DATA_LAST_HOP, FaultProfile::uniform_loss(0.02));
+        sim.add_flow(NodeId(0), NodeId(1), 500_000, 0);
+        assert!(
+            sim.run_until_flows_complete(),
+            "2% WAN loss must not strand the flow"
+        );
+        assert!(sim.out.fault_drops > 0, "losses must actually occur");
+        assert_eq!(sim.out.buffer_drops, 0, "no congestion loss here");
+        assert!(sim.out.retransmits > 0, "recovery is via go-back-N");
+        assert_eq!(sim.total_delivered(), 500_000);
+        // Every fault drop leaves a PacketLost trace record.
+        let lost = sim
+            .trace
+            .as_ref()
+            .unwrap()
+            .count(|e| matches!(e, TraceEvent::PacketLost { .. }));
+        assert_eq!(lost as u64, sim.out.fault_drops);
+    }
+
+    #[test]
+    fn link_flap_delays_but_never_strands() {
+        let clean_fct = {
+            let net = line_net();
+            let mut sim = Simulator::new(net, SimConfig::default(), Box::new(NoCcFactory));
+            sim.add_flow(NodeId(0), NodeId(1), 500_000, 0);
+            assert!(sim.run_until_flows_complete());
+            sim.out.fcts[0].fct()
+        };
+        let net = line_net();
+        let cfg = SimConfig {
+            stop_time: 2 * SEC,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(net, cfg, Box::new(NoCcFactory));
+        sim.enable_trace(1 << 16);
+        let down_at = 100 * US;
+        let up_at = 3 * MS;
+        sim.inject_link_faults(DATA_LAST_HOP, FaultProfile::flap(down_at, up_at));
+        sim.add_flow(NodeId(0), NodeId(1), 500_000, 0);
+        assert!(
+            sim.run_until_flows_complete(),
+            "a mid-transfer flap delays the flow but must not strand it"
+        );
+        assert_eq!(sim.out.link_flaps, 1);
+        assert!(sim.out.fault_drops > 0, "packets sent while dark are lost");
+        let fct = sim.out.fcts[0].fct();
+        assert!(
+            fct > up_at && fct > clean_fct,
+            "fct {fct} vs clean {clean_fct}"
+        );
+        let tr = sim.trace.as_ref().unwrap();
+        assert_eq!(tr.count(|e| matches!(e, TraceEvent::LinkDown { .. })), 1);
+        assert_eq!(tr.count(|e| matches!(e, TraceEvent::LinkUp { .. })), 1);
+    }
+
+    #[test]
+    fn faulted_runs_are_bitwise_deterministic() {
+        let run = || {
+            let net = line_net();
+            let cfg = SimConfig {
+                seed: 7,
+                stop_time: 2 * SEC,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(net, cfg, Box::new(NoCcFactory));
+            sim.inject_link_faults(
+                DATA_LAST_HOP,
+                FaultProfile::uniform_loss(0.01)
+                    .with_jitter(5 * US)
+                    .with_gilbert(GilbertElliott::bursty(0.02, 0.3, 0.5)),
+            );
+            // Independent loss on the reverse (ACK) direction too.
+            sim.inject_link_faults(LinkId(2), FaultProfile::uniform_loss(0.005));
+            sim.add_flow(NodeId(0), NodeId(1), 500_000, 0);
+            assert!(sim.run_until_flows_complete());
+            (
+                sim.out.fcts[0].fct(),
+                sim.out.events_processed,
+                sim.out.fault_drops,
+                sim.out.fault_jittered,
+                sim.out.retransmits,
+            )
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed → bit-identical faulted run");
+        assert!(a.2 > 0 && a.3 > 0, "faults and jitter both exercised");
+    }
+
+    #[test]
+    fn faults_on_untraversed_link_do_not_perturb_the_run() {
+        // In line_net all four links carry either the flow's data or its
+        // ACKs, so attach a third (idle) host and fault *its* links: a
+        // heavy loss+jitter profile there must not move the flow by one
+        // picosecond (per-link RNG substreams are fully isolated).
+        let run = |faults: bool| {
+            let mut b = NetBuilder::new(1000);
+            let h0 = b.add_host();
+            let h1 = b.add_host();
+            let h2 = b.add_host();
+            let s = b.add_switch(SwitchKind::Leaf, 22_000_000, PfcConfig::dc_switch());
+            b.connect(h0, s, 10 * GBPS, 1 * US, LinkOpts::default());
+            b.connect(h1, s, 10 * GBPS, 1 * US, LinkOpts::default());
+            let (idle_up, idle_down) = b.connect(h2, s, 10 * GBPS, 1 * US, LinkOpts::default());
+            let mut sim = Simulator::new(b.build(), SimConfig::default(), Box::new(NoCcFactory));
+            if faults {
+                for l in [idle_up, idle_down] {
+                    sim.inject_link_faults(l, FaultProfile::uniform_loss(0.5).with_jitter(50 * US));
+                }
+            }
+            sim.add_flow(h0, h1, 250_000, 0);
+            sim.run_until_flows_complete();
+            (sim.out.fcts[0].fct(), sim.out.events_processed)
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -102,6 +102,7 @@ impl NetBuilder {
                 tx_bytes: 0,
                 pfq_wake_at: None,
                 hop_id: id.0,
+                faults: None,
             });
         }
         self.adjacency[a.index()].push((fwd, b));

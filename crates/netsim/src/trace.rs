@@ -45,6 +45,21 @@ pub enum TraceEvent {
         flow: FlowId,
         link: LinkId,
     },
+    /// Fault injection discarded a packet on the wire (random loss,
+    /// burst loss, or a down link) — distinct from [`Self::PacketDropped`],
+    /// which is buffer overflow at a switch.
+    PacketLost {
+        flow: FlowId,
+        link: LinkId,
+    },
+    /// A fault-injected link went down.
+    LinkDown {
+        link: LinkId,
+    },
+    /// A fault-injected link came back up.
+    LinkUp {
+        link: LinkId,
+    },
 }
 
 /// A timestamped record.
@@ -92,8 +107,12 @@ impl Trace {
             | TraceEvent::FlowCompleted { flow, .. }
             | TraceEvent::PacketDropped { flow, .. }
             | TraceEvent::Retransmit { flow, .. }
-            | TraceEvent::PfqCreated { flow, .. } => *flow == want,
-            TraceEvent::PfcPause { .. } | TraceEvent::PfcResume { .. } => true,
+            | TraceEvent::PfqCreated { flow, .. }
+            | TraceEvent::PacketLost { flow, .. } => *flow == want,
+            TraceEvent::PfcPause { .. }
+            | TraceEvent::PfcResume { .. }
+            | TraceEvent::LinkDown { .. }
+            | TraceEvent::LinkUp { .. } => true,
         }
     }
 

@@ -240,7 +240,7 @@ fn pfc_backpressure_propagates_upstream() {
     let mut sim = Simulator::new(net, SimConfig::default(), Box::new(NoCcFactory));
     sim.add_flow(h0, h1, 3_000_000, 0);
     assert!(sim.run_until_flows_complete());
-    assert_eq!(sim.out.dropped_packets, 0, "PFC chain keeps it lossless");
+    assert_eq!(sim.out.total_dropped(), 0, "PFC chain keeps it lossless");
     let pauses_s2 = sim.nodes[s2.index()].as_switch().unwrap().pfc_pause_count();
     let pauses_s1 = sim.nodes[s1.index()].as_switch().unwrap().pfc_pause_count();
     assert!(pauses_s2 > 0, "s2 pauses s1");
@@ -422,7 +422,7 @@ fn trace_captures_drops_and_retransmits() {
     assert!(drops > 0, "overflow must be traced");
     assert!(retx > 0, "go-back-N must be traced");
     assert_eq!(
-        drops as u64, sim.out.dropped_packets,
+        drops as u64, sim.out.buffer_drops,
         "trace agrees with counters"
     );
     assert_eq!(retx as u64, sim.out.retransmits);
@@ -457,9 +457,8 @@ fn monitor_samples_per_flow_pfq_occupancy() {
     sim.add_flow(s2, d, 1 << 30, 0);
     sim.set_monitor(netsim::monitor::MonitorSpec {
         queues: dci_links,
-        flows: Vec::new(),
-        pfc_switches: Vec::new(),
         pfq_link: Some(pfq_link),
+        ..netsim::monitor::MonitorSpec::default()
     });
     sim.run();
     let saw_two_flows = sim

@@ -50,7 +50,7 @@ fn main() {
         "events processed: {}, PFC pauses: {}, drops: {}",
         sim.out.events_processed,
         sim.total_pfc_pauses(),
-        sim.out.dropped_packets
+        sim.out.total_dropped()
     );
 
     let cross = sim.out.fcts.iter().find(|r| r.flow == f_cross).unwrap();

@@ -45,7 +45,7 @@ fn mlcc_cross_flow_completes_and_uses_pfq() {
         .and_then(|s| s.dci.as_ref())
         .map_or(0, |d| d.switch_int_sent);
     assert!(si > 0, "near-source loop must emit Switch-INT packets");
-    assert_eq!(sim.out.dropped_packets, 0);
+    assert_eq!(sim.out.buffer_drops, 0);
 }
 
 #[test]
@@ -107,6 +107,7 @@ fn mlcc_incast_keeps_dci_queue_bounded() {
         flows: Vec::new(),
         pfc_switches: Vec::new(),
         pfq_link: None,
+        fault_links: Vec::new(),
     });
     sim.run();
     let series = sim.out.monitor.queue_sum_series();
@@ -152,7 +153,7 @@ fn mlcc_many_flows_byte_conservation() {
     }
     assert!(sim.run_until_flows_complete(), "all cross flows complete");
     assert_eq!(sim.total_delivered(), total);
-    assert_eq!(sim.out.dropped_packets, 0);
+    assert_eq!(sim.out.buffer_drops, 0);
 }
 
 #[test]
@@ -207,5 +208,5 @@ fn hybrid_dcqcn_under_mlcc_loops_completes() {
         .map(|p| p.get(f).map_or(0, |st| st.enqueued_bytes))
         .sum();
     assert!(pfq_bytes >= 3_000_000);
-    assert_eq!(sim.out.dropped_packets, 0);
+    assert_eq!(sim.out.buffer_drops, 0);
 }
