@@ -1,0 +1,240 @@
+//! Engine hot-path benchmark: fixed scenarios, wall-clock timed, results
+//! written to `BENCH_netsim.json` so every future PR has a perf
+//! trajectory to regress against.
+//!
+//! Scenarios (all fully deterministic, so the event counts are stable and
+//! only the wall clock varies between machines):
+//!
+//! * `large_scale` — the heavy Hadoop-mix FCT workload on the two-DC
+//!   fabric (Fig. 11 configuration), MLCC.
+//! * `fault_smoke_mlcc` / `fault_smoke_dcqcn` — the `fault_sweep --smoke`
+//!   dumbbell topology at 1% long-haul loss.
+//!
+//! Usage:
+//!
+//! ```text
+//! engine_perf [--smoke] [--iters N] [--out PATH]
+//!             [--baseline NAME=EVENTS_PER_SEC]...
+//! engine_perf --check PATH
+//! ```
+//!
+//! `--smoke` runs one iteration per scenario (CI). `--baseline` records a
+//! same-machine events/sec figure measured at a parent commit; the writer
+//! then emits `baseline_events_per_sec` and `speedup` for that scenario.
+//! `--check` validates that an existing results file is well-formed
+//! (exit 1 if missing or malformed) without re-running anything.
+
+use std::time::Instant;
+
+use mlcc_bench::scenarios::faults::{run_cell, FaultCell};
+use mlcc_bench::scenarios::large_scale::{run as large_scale_run, LargeScaleConfig};
+use mlcc_bench::Algo;
+use simstats::json::Value;
+use workload::TrafficMix;
+
+/// One timed scenario outcome (best-of-`iters` wall clock).
+struct Timing {
+    name: &'static str,
+    events: u64,
+    events_scheduled: u64,
+    peak_queue_depth: u64,
+    flows_completed: usize,
+    flows_total: usize,
+    best_wall_secs: f64,
+}
+
+impl Timing {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.best_wall_secs
+    }
+}
+
+fn time_scenario(name: &'static str, iters: usize, mut run: impl FnMut() -> Timing) -> Timing {
+    let mut best: Option<Timing> = None;
+    for i in 0..iters {
+        let r = run();
+        eprintln!(
+            "  {name} iter {}/{iters}: {} events in {:.3}s = {:.0} events/s",
+            i + 1,
+            r.events,
+            r.best_wall_secs,
+            r.events_per_sec()
+        );
+        if best
+            .as_ref()
+            .is_none_or(|b| r.best_wall_secs < b.best_wall_secs)
+        {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one iteration")
+}
+
+fn run_large_scale() -> Timing {
+    let t0 = Instant::now();
+    let r = large_scale_run(Algo::Mlcc, LargeScaleConfig::heavy(TrafficMix::Hadoop));
+    let wall = t0.elapsed().as_secs_f64();
+    Timing {
+        name: "large_scale",
+        events: r.events,
+        events_scheduled: r.events_scheduled,
+        peak_queue_depth: r.peak_queue_depth,
+        flows_completed: r.flows_completed,
+        flows_total: r.flows_total,
+        best_wall_secs: wall,
+    }
+}
+
+fn run_fault_smoke(name: &'static str, algo: Algo) -> Timing {
+    let t0 = Instant::now();
+    let r = run_cell(FaultCell::smoke(algo, 0.01, 0));
+    let wall = t0.elapsed().as_secs_f64();
+    Timing {
+        name,
+        events: r.events,
+        events_scheduled: r.events_scheduled,
+        peak_queue_depth: r.peak_queue_depth,
+        flows_completed: r.flows_completed,
+        flows_total: r.flows_total,
+        best_wall_secs: wall,
+    }
+}
+
+/// Keys every well-formed results file must contain (substring check:
+/// the workspace JSON module is writer-only by design, so validation
+/// matches the pretty-printed shape it emits).
+const REQUIRED_MARKERS: &[&str] = &[
+    "\"bench\": \"engine_perf\"",
+    "\"scenarios\":",
+    "\"name\": \"large_scale\"",
+    "\"name\": \"fault_smoke_mlcc\"",
+    "\"name\": \"fault_smoke_dcqcn\"",
+    "\"events_per_sec\":",
+    "\"events_scheduled\":",
+    "\"peak_queue_depth\":",
+    "\"wall_secs\":",
+];
+
+fn check(path: &str) -> i32 {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("engine_perf --check: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let mut bad = 0;
+    for m in REQUIRED_MARKERS {
+        if !body.contains(m) {
+            eprintln!("engine_perf --check: {path} is missing {m}");
+            bad += 1;
+        }
+    }
+    if bad == 0 {
+        println!("engine_perf --check: {path} ok ({} bytes)", body.len());
+    }
+    (bad > 0) as i32
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut iters: Option<usize> = None;
+    let mut out = "BENCH_netsim.json".to_string();
+    let mut baselines: Vec<(String, f64)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--iters" => {
+                i += 1;
+                iters = Some(args[i].parse().expect("--iters N"));
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--baseline" => {
+                i += 1;
+                let (name, eps) = args[i]
+                    .split_once('=')
+                    .expect("--baseline NAME=EVENTS_PER_SEC");
+                baselines.push((name.to_string(), eps.parse().expect("numeric events/sec")));
+            }
+            "--check" => {
+                i += 1;
+                std::process::exit(check(&args[i]));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let iters = iters.unwrap_or(if smoke { 1 } else { 3 });
+
+    eprintln!("engine_perf: {iters} iteration(s) per scenario");
+    let timings = vec![
+        time_scenario("large_scale", iters, run_large_scale),
+        time_scenario("fault_smoke_mlcc", iters, || {
+            run_fault_smoke("fault_smoke_mlcc", Algo::Mlcc)
+        }),
+        time_scenario("fault_smoke_dcqcn", iters, || {
+            run_fault_smoke("fault_smoke_dcqcn", Algo::Dcqcn)
+        }),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>10} {:>14} {:>10} {:>9}",
+        "scenario", "events", "wall_s", "events/s", "peak_q", "speedup"
+    );
+    let mut scenarios = Vec::new();
+    for t in &timings {
+        let baseline = baselines
+            .iter()
+            .find(|(n, _)| n == t.name)
+            .map(|&(_, eps)| eps);
+        let speedup = baseline.map(|b| t.events_per_sec() / b);
+        println!(
+            "{:<20} {:>12} {:>10.3} {:>14.0} {:>10} {:>9}",
+            t.name,
+            t.events,
+            t.best_wall_secs,
+            t.events_per_sec(),
+            t.peak_queue_depth,
+            speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+        );
+        let mut sc = Value::object()
+            .with("name", t.name)
+            .with("events", t.events)
+            .with("events_scheduled", t.events_scheduled)
+            .with("peak_queue_depth", t.peak_queue_depth)
+            .with("flows_completed", t.flows_completed)
+            .with("flows_total", t.flows_total)
+            .with("wall_secs", t.best_wall_secs)
+            .with("events_per_sec", t.events_per_sec());
+        if let Some(b) = baseline {
+            sc.set("baseline_events_per_sec", b);
+            sc.set("speedup", t.events_per_sec() / b);
+        }
+        scenarios.push(sc);
+    }
+
+    let doc = Value::object()
+        .with("bench", "engine_perf")
+        .with("smoke", smoke)
+        .with("iters", iters)
+        .with(
+            "baseline_note",
+            if baselines.is_empty() {
+                "no baseline supplied; absolute numbers are machine-specific"
+            } else {
+                "baseline events/sec measured on the same machine at the parent commit"
+            },
+        )
+        .with("scenarios", Value::Array(scenarios));
+    std::fs::write(&out, doc.to_json_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("engine_perf: wrote {out}");
+}

@@ -73,6 +73,10 @@ pub struct LargeScaleResult {
     pub dropped_packets: u64,
     pub pfc_pauses: u64,
     pub events: u64,
+    /// Total events scheduled (≥ `events`; the rest were pending at stop).
+    pub events_scheduled: u64,
+    /// High-water mark of the event queue.
+    pub peak_queue_depth: u64,
 }
 
 /// Run one algorithm over one workload configuration.
@@ -145,5 +149,7 @@ pub fn run_custom(
         dropped_packets: sim.out.total_dropped(),
         pfc_pauses: sim.total_pfc_pauses(),
         events: sim.out.events_processed,
+        events_scheduled: sim.out.events_scheduled,
+        peak_queue_depth: sim.out.peak_queue_depth,
     }
 }

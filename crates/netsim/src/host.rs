@@ -7,9 +7,8 @@
 //! a time onto its uplink; flows that are allowed to send are arbitrated
 //! round-robin, which is the ns-3 RDMA egress model.
 
-use std::collections::HashMap;
-
 use crate::cc::{clamp_rate, AckView, ReceiverCc, SenderCc};
+use crate::densemap::DenseMap;
 use crate::flow::{FctRecord, FlowPath, FlowSpec};
 use crate::packet::{Packet, PacketKind};
 use crate::types::{FlowId, LinkId, NodeId};
@@ -122,8 +121,11 @@ pub struct Host {
     /// The host's single uplink (host → ToR).
     pub uplink: LinkId,
     pub mtu_bytes: u32,
-    send: HashMap<FlowId, SendFlow>,
-    recv: HashMap<FlowId, RecvFlow>,
+    // Dense, id-indexed flow tables: per-packet lookups are a bounds
+    // check and a pointer chase, never a hash. Flow state is boxed so
+    // the slab stays one pointer per flow id.
+    send: DenseMap<FlowId, Box<SendFlow>>,
+    recv: DenseMap<FlowId, Box<RecvFlow>>,
     /// Round-robin order of active sending flows.
     rr: Vec<FlowId>,
     rr_cursor: usize,
@@ -137,8 +139,8 @@ impl Host {
             id,
             uplink,
             mtu_bytes,
-            send: HashMap::new(),
-            recv: HashMap::new(),
+            send: DenseMap::new(),
+            recv: DenseMap::new(),
             rr: Vec::new(),
             rr_cursor: 0,
             wake_at: None,
@@ -170,7 +172,7 @@ impl Host {
             done: false,
             retransmits: 0,
         };
-        self.send.insert(spec.id, flow);
+        self.send.insert(spec.id, Box::new(flow));
         self.rr.push(spec.id);
         timer.map(|t| (spec.id, t))
     }
@@ -180,22 +182,22 @@ impl Host {
     pub fn add_recv_flow(&mut self, spec: FlowSpec, path: FlowPath, cc: Box<dyn ReceiverCc>) {
         self.recv.insert(
             spec.id,
-            RecvFlow {
+            Box::new(RecvFlow {
                 spec,
                 path,
                 cc,
                 expected: 0,
                 complete: false,
-            },
+            }),
         );
     }
 
     pub fn send_flow(&self, flow: FlowId) -> Option<&SendFlow> {
-        self.send.get(&flow)
+        self.send.get(flow).map(|b| b.as_ref())
     }
 
     pub fn recv_flow(&self, flow: FlowId) -> Option<&RecvFlow> {
-        self.recv.get(&flow)
+        self.recv.get(flow).map(|b| b.as_ref())
     }
 
     /// Number of still-active (not fully acked) sending flows.
@@ -215,7 +217,7 @@ impl Host {
         for step in 0..n {
             let idx = (self.rr_cursor + step) % n;
             let fid = self.rr[idx];
-            let f = self.send.get_mut(&fid).expect("rr entry has send state");
+            let f = self.send.get_mut(fid).expect("rr entry has send state");
             if !f.sendable() {
                 continue;
             }
@@ -263,7 +265,7 @@ impl Host {
 
     fn on_data(&mut self, pkt: &Packet, now: Time, pkt_id: &mut u64) -> HostOutput {
         let mut out = HostOutput::default();
-        let Some(rf) = self.recv.get_mut(&pkt.flow) else {
+        let Some(rf) = self.recv.get_mut(pkt.flow) else {
             debug_assert!(false, "data for unknown flow {}", pkt.flow);
             return out;
         };
@@ -303,7 +305,7 @@ impl Host {
 
     fn on_ack(&mut self, pkt: &Packet, now: Time) -> HostOutput {
         let mut out = HostOutput::default();
-        let Some(f) = self.send.get_mut(&pkt.flow) else {
+        let Some(f) = self.send.get_mut(pkt.flow) else {
             return out;
         };
         let progressed = pkt.seq > f.bytes_acked;
@@ -345,7 +347,7 @@ impl Host {
 
     fn on_cnp(&mut self, pkt: &Packet, now: Time) -> HostOutput {
         let mut out = HostOutput::default();
-        if let Some(f) = self.send.get_mut(&pkt.flow) {
+        if let Some(f) = self.send.get_mut(pkt.flow) {
             f.cc.on_cnp(now);
             Self::sync_timer(f, &mut out);
         }
@@ -354,7 +356,7 @@ impl Host {
 
     fn on_switch_int(&mut self, pkt: &Packet, now: Time) -> HostOutput {
         let mut out = HostOutput::default();
-        if let Some(f) = self.send.get_mut(&pkt.flow) {
+        if let Some(f) = self.send.get_mut(pkt.flow) {
             f.cc.on_switch_int(&pkt.int, now);
             Self::sync_timer(f, &mut out);
         }
@@ -364,7 +366,7 @@ impl Host {
     /// A CC timer event fired for `flow` at `at`.
     pub fn on_cc_timer(&mut self, flow: FlowId, at: Time) -> HostOutput {
         let mut out = HostOutput::default();
-        let Some(f) = self.send.get_mut(&flow) else {
+        let Some(f) = self.send.get_mut(flow) else {
             return out;
         };
         if f.timer_at != Some(at) {
@@ -389,7 +391,7 @@ impl Host {
     /// Arm the RTO check chain for a freshly started flow. Returns the
     /// absolute time of the first check (always `Some` for a live flow).
     pub fn arm_rto(&mut self, flow: FlowId, now: Time) -> Option<Time> {
-        let f = self.send.get_mut(&flow)?;
+        let f = self.send.get_mut(flow)?;
         if f.done {
             return None;
         }
@@ -409,7 +411,7 @@ impl Host {
     /// chain re-arms itself as long as the flow is live, so a flow that
     /// went idle behind a flap window keeps being supervised.
     pub fn on_rto_check(&mut self, flow: FlowId, now: Time) -> (bool, Option<Time>) {
-        let Some(f) = self.send.get_mut(&flow) else {
+        let Some(f) = self.send.get_mut(flow) else {
             return (false, None);
         };
         if f.rto_at != Some(now) {
@@ -439,23 +441,39 @@ impl Host {
     /// Current RTO interval of a flow still under supervision.
     pub fn needs_rto(&self, flow: FlowId) -> Option<Time> {
         self.send
-            .get(&flow)
+            .get(flow)
             .filter(|f| !f.done)
             .map(|f| f.rto_interval())
     }
 
     /// Remove completed flows from the round-robin ring (cheap GC called
     /// opportunistically by the simulator).
+    ///
+    /// The cursor keeps its position relative to the *surviving* entries:
+    /// resetting it to the ring head on every completion would hand the
+    /// next transmission to the earliest-registered flow each time a
+    /// short flow finished, skewing the arbiter against late arrivals.
     pub fn gc_finished(&mut self) {
-        if self
-            .rr
-            .iter()
-            .any(|f| self.send.get(f).is_none_or(|s| s.done))
-        {
-            self.rr
-                .retain(|f| self.send.get(f).is_some_and(|s| !s.done));
-            self.rr_cursor = 0;
+        let old_cursor = self.rr_cursor;
+        let mut kept = 0;
+        let mut kept_before_cursor = 0;
+        for i in 0..self.rr.len() {
+            let f = self.rr[i];
+            if self.send.get(f).is_some_and(|s| !s.done) {
+                self.rr[kept] = f;
+                if i < old_cursor {
+                    kept_before_cursor += 1;
+                }
+                kept += 1;
+            }
         }
+        self.rr.truncate(kept);
+        // A cursor past the last survivor wraps to the ring head.
+        self.rr_cursor = if kept == 0 {
+            0
+        } else {
+            kept_before_cursor % kept
+        };
     }
 
     /// Total bytes acknowledged across all sending flows (diagnostics).
@@ -805,5 +823,70 @@ mod tests {
             seen.windows(2).all(|w| w[0] != w[1]),
             "alternating: {seen:?}"
         );
+    }
+
+    /// Regression for the cursor-skew bug: `gc_finished` used to reset
+    /// `rr_cursor` to 0 whenever any flow completed, handing the slot
+    /// after every short-flow completion to the earliest-registered
+    /// flow. Two long flows must keep alternating fairly while short
+    /// flows churn through the ring.
+    #[test]
+    fn gc_preserves_round_robin_fairness_under_churn() {
+        let mut h = Host::new(NodeId(0), LinkId(0), 1000);
+        // Flow 0 is a short flow registered *first*, so the buggy reset
+        // biases toward long flow 1 (the new ring head) after its
+        // completion churns the ring.
+        h.add_send_flow(spec(0, 1000), path(), Box::new(FixedRateCc::new(25e9)), 0);
+        h.add_send_flow(
+            spec(1, 1_000_000),
+            path(),
+            Box::new(FixedRateCc::new(25e9)),
+            0,
+        );
+        h.add_send_flow(
+            spec(2, 1_000_000),
+            path(),
+            Box::new(FixedRateCc::new(25e9)),
+            0,
+        );
+        let mut id = 0;
+        let mut now = 0;
+        let next = |h: &mut Host, now: &mut Time, id: &mut u64| -> u32 {
+            loop {
+                match h.next_data_packet(*now, id) {
+                    HostTx::Packet(p) => return p.flow.0,
+                    HostTx::WakeAt(t) => *now = t,
+                    HostTx::Idle => panic!("long flows still active"),
+                }
+            }
+        };
+        let mut served: Vec<u32> = Vec::new();
+        // One full round: 0 (short, completes), then the two long flows.
+        assert_eq!(next(&mut h, &mut now, &mut id), 0);
+        served.push(next(&mut h, &mut now, &mut id));
+        // The short flow completes mid-round; GC churns the ring while
+        // the cursor sits between the two long flows.
+        let d = Packet::data(99, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0);
+        let ack = Packet::ack_for(100, &d, 1000, now);
+        let out = h.on_ack(&ack, now);
+        assert!(out.sender_done);
+        h.gc_finished();
+        // More churn later in the test: register and complete another
+        // short flow between long-flow transmissions.
+        for round in 0..6 {
+            served.push(next(&mut h, &mut now, &mut id));
+            if round == 2 {
+                h.add_send_flow(spec(3, 1000), path(), Box::new(FixedRateCc::new(25e9)), now);
+                assert_eq!(next(&mut h, &mut now, &mut id), 3);
+                let d = Packet::data(101, FlowId(3), NodeId(0), NodeId(1), 0, 1000, 0);
+                let ack = Packet::ack_for(102, &d, 1000, now);
+                assert!(h.on_ack(&ack, now).sender_done);
+                h.gc_finished();
+            }
+        }
+        // The two long flows alternate strictly: no double service after
+        // either GC. (The buggy cursor reset serves flow 1 twice in a
+        // row after flow 0 completes.)
+        assert_eq!(served, vec![1, 2, 1, 2, 1, 2, 1]);
     }
 }

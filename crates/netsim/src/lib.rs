@@ -39,6 +39,7 @@
 pub mod buffer;
 pub mod cc;
 pub mod config;
+pub mod densemap;
 pub mod ecn;
 pub mod event;
 pub mod fault;
@@ -68,6 +69,7 @@ pub mod prelude {
         IntEchoReceiver, NoCcFactory, PlainReceiver, ReceiverCc, SenderCc, MIN_SEND_RATE_BPS,
     };
     pub use crate::config::{DciFeatures, SimConfig};
+    pub use crate::densemap::{DenseKey, DenseMap};
     pub use crate::ecn::EcnConfig;
     pub use crate::fault::{FaultProfile, FaultState, FlapWindow, GilbertElliott};
     pub use crate::flow::{FctRecord, FlowPath, FlowSpec};

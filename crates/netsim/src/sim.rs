@@ -31,6 +31,11 @@ pub struct SimOutput {
     /// Periodic samples.
     pub monitor: MonitorLog,
     pub events_processed: u64,
+    /// Total events ever scheduled (≥ `events_processed`; the rest were
+    /// still pending at finalize).
+    pub events_scheduled: u64,
+    /// High-water mark of the event queue.
+    pub peak_queue_depth: u64,
     pub finished_at: Time,
     /// Shared-buffer overflow drops at switches (congestion loss),
     /// aggregated at finalize. Zero on a lossless (PFC) fabric even
@@ -70,6 +75,12 @@ pub struct Simulator {
     factory: Box<dyn CcFactory>,
     rng: Xoshiro256StarStar,
     pkt_id: u64,
+    /// Recycled boxes for in-flight [`Event::Arrival`] payloads, so
+    /// steady-state scheduling allocates nothing. The boxes themselves
+    /// are the resource being pooled: each is handed back to the event
+    /// queue on the next serialization.
+    #[allow(clippy::vec_box)]
+    pkt_pool: Vec<Box<Packet>>,
     pub out: SimOutput,
     /// Optional flight recorder (see [`crate::trace`]). Off by default.
     pub trace: Option<Trace>,
@@ -94,6 +105,7 @@ impl Simulator {
             paths: Vec::new(),
             factory,
             pkt_id: 0,
+            pkt_pool: Vec::new(),
             out: SimOutput::default(),
             trace: None,
         };
@@ -250,6 +262,8 @@ impl Simulator {
 
     fn finalize(&mut self) {
         self.out.finished_at = self.now;
+        self.out.events_scheduled = self.events.scheduled_total();
+        self.out.peak_queue_depth = self.events.peak_len() as u64;
         self.out.buffer_drops = self
             .nodes
             .iter()
@@ -387,7 +401,9 @@ impl Simulator {
         self.try_start_tx(uplink);
     }
 
-    fn handle_arrival(&mut self, link: LinkId, pkt: Packet) {
+    fn handle_arrival(&mut self, link: LinkId, boxed: Box<Packet>) {
+        let pkt = *boxed;
+        self.pkt_pool.push(boxed);
         let dst = self.links[link.index()].dst;
         if self.nodes[dst.index()].is_host() {
             self.host_arrival(dst, pkt);
@@ -459,8 +475,7 @@ impl Simulator {
                 // though DCI PFC is disabled by default.
                 let act = sw
                     .ingress
-                    .entry(in_link)
-                    .or_default()
+                    .get_or_default(in_link)
                     .on_enqueue(size, &pfc, cap, used, now);
                 debug_assert_eq!(act, PfcAction::None, "DCI PFC should stay off");
                 sw.dci
@@ -494,7 +509,7 @@ impl Simulator {
                     let pfq_link = self.nodes[node.index()]
                         .as_switch()
                         .and_then(|sw| sw.dci.as_ref())
-                        .and_then(|d| d.pfq_link.get(&pkt.flow))
+                        .and_then(|d| d.pfq_link.get(pkt.flow))
                         .copied();
                     if let Some(pl) = pfq_link {
                         let mut kick = false;
@@ -560,8 +575,7 @@ impl Simulator {
                     let used = sw.buffer.used();
                     let pfc = sw.pfc;
                     sw.ingress
-                        .entry(il)
-                        .or_default()
+                        .get_or_default(il)
                         .on_enqueue(size, &pfc, cap, used, now)
                 };
                 if act == PfcAction::Pause {
@@ -643,7 +657,7 @@ impl Simulator {
                     let cap = sw.buffer.capacity();
                     let used = sw.buffer.used();
                     let pfc = sw.pfc;
-                    let act = sw.ingress.entry(il).or_default().on_dequeue(
+                    let act = sw.ingress.get_or_default(il).on_dequeue(
                         pkt.size as u64,
                         &pfc,
                         cap,
@@ -747,13 +761,16 @@ impl Simulator {
             }
         }
         match arrival_at {
-            Some(at) => self.events.schedule(
-                at,
-                Event::Arrival {
-                    link: l,
-                    packet: pkt,
-                },
-            ),
+            Some(at) => {
+                let packet = match self.pkt_pool.pop() {
+                    Some(mut b) => {
+                        *b = pkt;
+                        b
+                    }
+                    None => Box::new(pkt),
+                };
+                self.events.schedule(at, Event::Arrival { link: l, packet });
+            }
             None => self.record(TraceEvent::PacketLost {
                 flow: pkt.flow,
                 link: l,

@@ -4,9 +4,8 @@
 //! Forwarding logic lives in the simulator core (`sim.rs`); this module is
 //! the per-switch data and the small self-contained decision helpers.
 
-use std::collections::HashMap;
-
 use crate::buffer::SharedBuffer;
+use crate::densemap::DenseMap;
 use crate::pfc::{IngressState, PfcConfig};
 use crate::types::{FlowId, LinkId, NodeId};
 use crate::units::Time;
@@ -27,10 +26,11 @@ pub struct DciState {
     pub long_haul_in: LinkId,
     /// Minimum interval between Switch-INT feedback packets per flow.
     pub switch_int_min_interval: Time,
-    /// Last Switch-INT emission time per flow.
-    pub last_switch_int: HashMap<FlowId, Time>,
+    /// Last Switch-INT emission time per flow (dense: flow ids are small
+    /// integers, and this is consulted for every long-haul data packet).
+    pub last_switch_int: DenseMap<FlowId, Time>,
     /// Which egress link holds each cross-DC flow's PFQ (receiver side).
-    pub pfq_link: HashMap<FlowId, LinkId>,
+    pub pfq_link: DenseMap<FlowId, LinkId>,
     /// Count of Switch-INT feedback packets emitted.
     pub switch_int_sent: u64,
 }
@@ -41,15 +41,15 @@ impl DciState {
             long_haul_out,
             long_haul_in,
             switch_int_min_interval: min_interval,
-            last_switch_int: HashMap::new(),
-            pfq_link: HashMap::new(),
+            last_switch_int: DenseMap::new(),
+            pfq_link: DenseMap::new(),
             switch_int_sent: 0,
         }
     }
 
     /// Whether a Switch-INT feedback for `flow` may be emitted now.
     pub fn switch_int_due(&mut self, flow: FlowId, now: Time) -> bool {
-        match self.last_switch_int.get(&flow) {
+        match self.last_switch_int.get(flow) {
             Some(&t) if now < t + self.switch_int_min_interval => false,
             _ => {
                 self.last_switch_int.insert(flow, now);
@@ -66,8 +66,8 @@ pub struct Switch {
     pub kind: SwitchKind,
     pub buffer: SharedBuffer,
     pub pfc: PfcConfig,
-    /// Per-ingress PFC accounting, keyed by the arriving link.
-    pub ingress: HashMap<LinkId, IngressState>,
+    /// Per-ingress PFC accounting, keyed densely by the arriving link.
+    pub ingress: DenseMap<LinkId, IngressState>,
     /// DCI role, when this switch terminates the long-haul link.
     pub dci: Option<DciState>,
 }
@@ -79,7 +79,7 @@ impl Switch {
             kind,
             buffer: SharedBuffer::new(buffer_bytes),
             pfc,
-            ingress: HashMap::new(),
+            ingress: DenseMap::new(),
             dci: None,
         }
     }
@@ -146,8 +146,8 @@ mod tests {
             22_000_000,
             PfcConfig::dc_switch(),
         );
-        s.ingress.entry(LinkId(0)).or_default().pause_count = 3;
-        s.ingress.entry(LinkId(1)).or_default().pause_count = 2;
+        s.ingress.get_or_default(LinkId(0)).pause_count = 3;
+        s.ingress.get_or_default(LinkId(1)).pause_count = 2;
         assert_eq!(s.pfc_pause_count(), 5);
     }
 }

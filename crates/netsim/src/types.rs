@@ -38,6 +38,27 @@ impl FlowId {
     }
 }
 
+impl crate::densemap::DenseKey for NodeId {
+    #[inline]
+    fn dense_index(self) -> usize {
+        self.index()
+    }
+}
+
+impl crate::densemap::DenseKey for LinkId {
+    #[inline]
+    fn dense_index(self) -> usize {
+        self.index()
+    }
+}
+
+impl crate::densemap::DenseKey for FlowId {
+    #[inline]
+    fn dense_index(self) -> usize {
+        self.index()
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)

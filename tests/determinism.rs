@@ -153,3 +153,112 @@ fn ecn_mark_counter_is_deterministic() {
     assert_eq!(a, b);
     assert!(a.1 > 0);
 }
+
+// ---------------------------------------------------------------------
+// Golden determinism gate: full SimOutput + trace, faulted and
+// fault-free. Pinned across the timing-wheel scheduler and dense
+// flow-table swap — any behavioral drift in either shows up here as a
+// run-to-run or field-level mismatch.
+// ---------------------------------------------------------------------
+
+/// Every scalar and sequence a run produces, including the flight
+/// recorder — the widest equality net the simulator offers.
+#[derive(Debug, PartialEq)]
+struct FullGolden {
+    events_processed: u64,
+    events_scheduled: u64,
+    peak_queue_depth: u64,
+    finished_at: Time,
+    buffer_drops: u64,
+    fault_drops: u64,
+    fault_jittered: u64,
+    link_flaps: u64,
+    retransmits: u64,
+    ecn_marks: u64,
+    pfc_events: Vec<(Time, u32)>,
+    fcts: Vec<(u32, Time, Time)>,
+    trace: Vec<TraceRecord>,
+}
+
+fn full_golden(sim: &Simulator) -> FullGolden {
+    FullGolden {
+        events_processed: sim.out.events_processed,
+        events_scheduled: sim.out.events_scheduled,
+        peak_queue_depth: sim.out.peak_queue_depth,
+        finished_at: sim.out.finished_at,
+        buffer_drops: sim.out.buffer_drops,
+        fault_drops: sim.out.fault_drops,
+        fault_jittered: sim.out.fault_jittered,
+        link_flaps: sim.out.link_flaps,
+        retransmits: sim.out.retransmits,
+        ecn_marks: sim.out.ecn_marks,
+        pfc_events: sim.out.pfc_events.iter().map(|&(t, n)| (t, n.0)).collect(),
+        fcts: sim
+            .out
+            .fcts
+            .iter()
+            .map(|r| (r.flow.0, r.start, r.finish))
+            .collect(),
+        trace: sim
+            .trace
+            .as_ref()
+            .expect("trace enabled")
+            .records()
+            .copied()
+            .collect(),
+    }
+}
+
+/// A dumbbell scenario with the flight recorder on; `faulted` adds loss
+/// and jitter to both long-haul directions so the recovery path (RTO
+/// rewinds, retransmits, jittered arrivals) is exercised too.
+fn traced_run(faulted: bool, seed: u64) -> FullGolden {
+    let topo = DumbbellTopology::build(DumbbellParams::default());
+    let cfg = SimConfig {
+        stop_time: 20 * SEC,
+        dci: DciFeatures::mlcc(),
+        seed,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.net, cfg, Box::new(MlccFactory::default()));
+    sim.enable_trace(100_000);
+    if faulted {
+        let profile = FaultProfile::uniform_loss(0.01).with_jitter(5 * US);
+        for l in topo.long_haul {
+            sim.inject_link_faults(l, profile.clone());
+        }
+    }
+    for side in 0..2 {
+        let senders = &topo.servers[side];
+        let receivers = &topo.servers[1 - side];
+        for i in 0..2 {
+            sim.add_flow(
+                senders[i % senders.len()],
+                receivers[i % receivers.len()],
+                500_000,
+                (i as Time) * 100 * US,
+            );
+        }
+    }
+    sim.run_until_flows_complete();
+    full_golden(&sim)
+}
+
+#[test]
+fn golden_gate_fault_free_scenario_replays_bit_identical() {
+    let a = traced_run(false, 3);
+    let b = traced_run(false, 3);
+    assert!(!a.fcts.is_empty(), "scenario must complete flows");
+    assert!(!a.trace.is_empty(), "trace must have recorded events");
+    assert_eq!(a.fault_drops, 0, "fault-free run must not drop");
+    assert_eq!(a, b, "fault-free SimOutput + trace must replay exactly");
+}
+
+#[test]
+fn golden_gate_faulted_scenario_replays_bit_identical() {
+    let a = traced_run(true, 3);
+    let b = traced_run(true, 3);
+    assert!(!a.fcts.is_empty(), "scenario must complete flows");
+    assert!(a.fault_drops > 0, "faulted run must exercise the loss path");
+    assert_eq!(a, b, "faulted SimOutput + trace must replay exactly");
+}
