@@ -85,7 +85,15 @@ fn main() {
             for f in 0..16u32 {
                 id += 1;
                 set.enqueue(
-                    Packet::data(id, FlowId(f), NodeId(0), NodeId(1), 0, 1000, now),
+                    Box::new(Packet::data(
+                        id,
+                        FlowId(f),
+                        NodeId(0),
+                        NodeId(1),
+                        0,
+                        1000,
+                        now,
+                    )),
                     now,
                 );
             }

@@ -7,8 +7,15 @@
 //!
 //! * `large_scale` — the heavy Hadoop-mix FCT workload on the two-DC
 //!   fabric (Fig. 11 configuration), MLCC.
+//! * `large_scale_xl` — the same mix and load at 4x the hosts (the XL
+//!   scale-up study): stresses pools, dense tables, and the event queue
+//!   at a host count `heavy` never reaches.
 //! * `fault_smoke_mlcc` / `fault_smoke_dcqcn` — the `fault_sweep --smoke`
 //!   dumbbell topology at 1% long-haul loss.
+//!
+//! The binary installs [`netsim::alloc::CountingAlloc`] as the global
+//! allocator, so each scenario also reports `peak_mem_bytes` — the
+//! high-water mark of live heap bytes during its best iteration.
 //!
 //! Usage:
 //!
@@ -29,8 +36,12 @@ use std::time::Instant;
 use mlcc_bench::scenarios::faults::{run_cell, FaultCell};
 use mlcc_bench::scenarios::large_scale::{run as large_scale_run, LargeScaleConfig};
 use mlcc_bench::Algo;
+use netsim::alloc::CountingAlloc;
 use simstats::json::Value;
 use workload::TrafficMix;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// One timed scenario outcome (best-of-`iters` wall clock).
 struct Timing {
@@ -41,6 +52,8 @@ struct Timing {
     flows_completed: usize,
     flows_total: usize,
     best_wall_secs: f64,
+    /// High-water mark of live heap bytes during the run.
+    peak_mem_bytes: u64,
 }
 
 impl Timing {
@@ -70,22 +83,25 @@ fn time_scenario(name: &'static str, iters: usize, mut run: impl FnMut() -> Timi
     best.expect("at least one iteration")
 }
 
-fn run_large_scale() -> Timing {
+fn run_large_scale(name: &'static str, cfg: LargeScaleConfig) -> Timing {
+    CountingAlloc::reset_peak();
     let t0 = Instant::now();
-    let r = large_scale_run(Algo::Mlcc, LargeScaleConfig::heavy(TrafficMix::Hadoop));
+    let r = large_scale_run(Algo::Mlcc, cfg);
     let wall = t0.elapsed().as_secs_f64();
     Timing {
-        name: "large_scale",
+        name,
         events: r.events,
         events_scheduled: r.events_scheduled,
         peak_queue_depth: r.peak_queue_depth,
         flows_completed: r.flows_completed,
         flows_total: r.flows_total,
         best_wall_secs: wall,
+        peak_mem_bytes: CountingAlloc::peak_bytes(),
     }
 }
 
 fn run_fault_smoke(name: &'static str, algo: Algo) -> Timing {
+    CountingAlloc::reset_peak();
     let t0 = Instant::now();
     let r = run_cell(FaultCell::smoke(algo, 0.01, 0));
     let wall = t0.elapsed().as_secs_f64();
@@ -97,6 +113,7 @@ fn run_fault_smoke(name: &'static str, algo: Algo) -> Timing {
         flows_completed: r.flows_completed,
         flows_total: r.flows_total,
         best_wall_secs: wall,
+        peak_mem_bytes: CountingAlloc::peak_bytes(),
     }
 }
 
@@ -107,11 +124,13 @@ const REQUIRED_MARKERS: &[&str] = &[
     "\"bench\": \"engine_perf\"",
     "\"scenarios\":",
     "\"name\": \"large_scale\"",
+    "\"name\": \"large_scale_xl\"",
     "\"name\": \"fault_smoke_mlcc\"",
     "\"name\": \"fault_smoke_dcqcn\"",
     "\"events_per_sec\":",
     "\"events_scheduled\":",
     "\"peak_queue_depth\":",
+    "\"peak_mem_bytes\":",
     "\"wall_secs\":",
 ];
 
@@ -176,7 +195,12 @@ fn main() {
 
     eprintln!("engine_perf: {iters} iteration(s) per scenario");
     let timings = vec![
-        time_scenario("large_scale", iters, run_large_scale),
+        time_scenario("large_scale", iters, || {
+            run_large_scale("large_scale", LargeScaleConfig::heavy(TrafficMix::Hadoop))
+        }),
+        time_scenario("large_scale_xl", iters, || {
+            run_large_scale("large_scale_xl", LargeScaleConfig::xl(TrafficMix::Hadoop))
+        }),
         time_scenario("fault_smoke_mlcc", iters, || {
             run_fault_smoke("fault_smoke_mlcc", Algo::Mlcc)
         }),
@@ -186,8 +210,8 @@ fn main() {
     ];
 
     println!(
-        "{:<20} {:>12} {:>10} {:>14} {:>10} {:>9}",
-        "scenario", "events", "wall_s", "events/s", "peak_q", "speedup"
+        "{:<20} {:>12} {:>10} {:>14} {:>10} {:>10} {:>9}",
+        "scenario", "events", "wall_s", "events/s", "peak_q", "peak_mem", "speedup"
     );
     let mut scenarios = Vec::new();
     for t in &timings {
@@ -197,12 +221,13 @@ fn main() {
             .map(|&(_, eps)| eps);
         let speedup = baseline.map(|b| t.events_per_sec() / b);
         println!(
-            "{:<20} {:>12} {:>10.3} {:>14.0} {:>10} {:>9}",
+            "{:<20} {:>12} {:>10.3} {:>14.0} {:>10} {:>10} {:>9}",
             t.name,
             t.events,
             t.best_wall_secs,
             t.events_per_sec(),
             t.peak_queue_depth,
+            netsim::units::fmt_bytes(t.peak_mem_bytes as f64),
             speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
         );
         let mut sc = Value::object()
@@ -210,6 +235,7 @@ fn main() {
             .with("events", t.events)
             .with("events_scheduled", t.events_scheduled)
             .with("peak_queue_depth", t.peak_queue_depth)
+            .with("peak_mem_bytes", t.peak_mem_bytes)
             .with("flows_completed", t.flows_completed)
             .with("flows_total", t.flows_total)
             .with("wall_secs", t.best_wall_secs)

@@ -59,6 +59,17 @@ impl LargeScaleConfig {
         self.duration = 40 * MS;
         self
     }
+
+    /// XL scale-up study: 4x the hosts of [`Self::heavy`] (8 servers
+    /// per leaf, 64 total), same mix and load fractions. Stresses the
+    /// engine's memory behaviour — pools, dense tables, event queue —
+    /// at a host count the heavy configuration never reaches.
+    pub fn xl(mix: TrafficMix) -> Self {
+        LargeScaleConfig {
+            servers_per_leaf: 8,
+            ..LargeScaleConfig::heavy(mix)
+        }
+    }
 }
 
 /// Result of one run.

@@ -56,13 +56,18 @@ impl ReceiverCc for MlccReceiver {
         }
         let mut fields = AckFields::default();
         // Q_c: the DCI per-flow queue length rides in the DCI INT record.
-        if let Some(dci_hop) = pkt.int.hops().iter().find(|h| h.is_dci) {
+        if let Some(dci_hop) = pkt.int().hops().iter().find(|h| h.is_dci) {
             self.dqm.observe_queue(dci_hop.qlen_bytes);
         }
-        if let Some(round) = self.credit.on_data(&pkt.int, pkt.mlcc.c_d, pkt.size, now) {
+        if let Some(round) = self
+            .credit
+            .on_data(pkt.int(), pkt.mlcc.c_d(), pkt.size, now)
+        {
             let r_dqm = self.dqm.on_round(round.r_credit_bps);
-            fields.mlcc.c_r = Some(round.c_r);
-            fields.mlcc.r_credit_bps = Some(round.r_credit_bps as u64);
+            fields.mlcc.set_c_r(Some(round.c_r));
+            fields
+                .mlcc
+                .set_r_credit_bps(Some(round.r_credit_bps as u64));
             // Diagnostic trace of the control loops (development aid):
             // MLCC_TRACE=1 prints one line per credit round.
             if std::env::var_os("MLCC_TRACE").is_some() {
@@ -74,14 +79,14 @@ impl ReceiverCc for MlccReceiver {
                     round.r_credit_bps / 1e9,
                     r_dqm / 1e9,
                     self.dqm.last_d_pre_secs * 1e6,
-                    pkt.int.hops().iter().find(|h| h.is_dci).map_or(0, |h| h.qlen_bytes),
+                    pkt.int().hops().iter().find(|h| h.is_dci).map_or(0, |h| h.qlen_bytes),
                 );
             }
         }
         // Per-packet smoothing; every ACK advertises the latest R̄_DQM.
         let r_bar = self.dqm.on_packet(self.credit.r_credit_bps());
         if self.dqm_enabled {
-            fields.mlcc.r_dqm_bps = Some(r_bar as u64);
+            fields.mlcc.set_r_dqm_bps(Some(r_bar as u64));
         }
         fields
     }
@@ -104,8 +109,8 @@ mod tests {
 
     fn pkt(ts: Time, c_d: Option<u32>, dci_q: u64, hop_q: u64, hop_tx: u64) -> Packet {
         let mut p = Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 0, 1000, ts);
-        p.mlcc.c_d = c_d;
-        p.int.push(IntHop {
+        p.mlcc.set_c_d(c_d);
+        p.push_hop(IntHop {
             hop_id: 50,
             ts,
             qlen_bytes: dci_q,
@@ -113,7 +118,7 @@ mod tests {
             link_bps: 100 * GBPS,
             is_dci: true,
         });
-        p.int.push(IntHop {
+        p.push_hop(IntHop {
             hop_id: 1,
             ts,
             qlen_bytes: hop_q,
@@ -129,24 +134,24 @@ mod tests {
         let mut r = rx(false);
         let out = r.on_data(&pkt(0, Some(0), 0, 0, 0), 0);
         assert!(out.echo_int);
-        assert!(out.mlcc.c_r.is_none());
-        assert!(out.mlcc.r_dqm_bps.is_none());
+        assert!(out.mlcc.c_r().is_none());
+        assert!(out.mlcc.r_dqm_bps().is_none());
     }
 
     #[test]
     fn cross_flow_advertises_dqm_every_ack() {
         let mut r = rx(true);
         let out = r.on_data(&pkt(0, None, 0, 0, 0), 0);
-        assert!(out.mlcc.r_dqm_bps.is_some());
-        assert!(out.mlcc.c_r.is_none(), "no round completed yet");
+        assert!(out.mlcc.r_dqm_bps().is_some());
+        assert!(out.mlcc.c_r().is_none(), "no round completed yet");
     }
 
     #[test]
     fn credit_round_emits_cr_and_rcredit() {
         let mut r = rx(true);
         let out = r.on_data(&pkt(0, Some(0), 0, 0, 0), 0);
-        assert_eq!(out.mlcc.c_r, Some(1));
-        assert!(out.mlcc.r_credit_bps.is_some());
+        assert_eq!(out.mlcc.c_r(), Some(1));
+        assert!(out.mlcc.r_credit_bps().is_some());
         assert_eq!(r.rounds(), 1);
     }
 
@@ -159,12 +164,12 @@ mod tests {
         let big_q = (25e9 * 0.020 / 8.0) as u64;
         let t = RTT_D;
         let out = r.on_data(&pkt(t, Some(1), big_q, 0, bytes_in(t, CAP) / 2), t);
-        let r_credit = out.mlcc.r_credit_bps.unwrap() as f64;
+        let r_credit = out.mlcc.r_credit_bps().unwrap() as f64;
         // Advertised R̄_DQM should fall below R_credit as packets flow.
         let mut r_bar = f64::MAX;
         for i in 0..500u64 {
             let out = r.on_data(&pkt(t + i, Some(99), big_q, 0, 0), t + i);
-            r_bar = out.mlcc.r_dqm_bps.unwrap() as f64;
+            r_bar = out.mlcc.r_dqm_bps().unwrap() as f64;
         }
         assert!(
             r_bar < r_credit,

@@ -1,0 +1,112 @@
+//! A counting global allocator for allocation-budget tests and peak-RSS
+//! style memory reporting without any OS-specific probing.
+//!
+//! [`CountingAlloc`] wraps the system allocator and keeps three relaxed
+//! atomic counters: total allocation calls, currently live bytes, and
+//! the high-water mark of live bytes. It is a zero-sized type, so
+//! installing it costs nothing beyond the counter updates.
+//!
+//! It is intentionally **not** installed by the library: a
+//! `#[global_allocator]` in a library would be forced on every
+//! downstream binary. Instead, the two consumers that want numbers
+//! install it themselves:
+//!
+//! * `tests/alloc_gate.rs` — proves the steady-state event loop
+//!   performs **zero** heap allocations once pools are warm;
+//! * the `engine_perf` bench binary — reports `peak_mem_bytes`
+//!   per scenario in `BENCH_netsim.json`.
+//!
+//! Counters are process-global; concurrent tests would interleave
+//! their counts, which is why the allocation gate lives in its own
+//! single-test integration binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static TRAP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts calls and live/peak bytes.
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: netsim::alloc::CountingAlloc = netsim::alloc::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Total `alloc`/`realloc` calls since process start.
+    pub fn alloc_calls() -> u64 {
+        ALLOC_CALLS.load(Relaxed)
+    }
+
+    /// Bytes currently allocated and not yet freed.
+    pub fn live_bytes() -> u64 {
+        LIVE_BYTES.load(Relaxed)
+    }
+
+    /// High-water mark of [`Self::live_bytes`].
+    pub fn peak_bytes() -> u64 {
+        PEAK_BYTES.load(Relaxed)
+    }
+
+    /// Reset the high-water mark to the current live bytes, so the next
+    /// [`Self::peak_bytes`] reads the peak of one phase in isolation
+    /// (e.g. one benchmark scenario) instead of the process lifetime.
+    pub fn reset_peak() {
+        PEAK_BYTES.store(LIVE_BYTES.load(Relaxed), Relaxed);
+    }
+
+    /// Debugging aid: make the **next** allocation panic, so its
+    /// backtrace identifies the hot-path allocation site.
+    #[doc(hidden)]
+    pub fn trap_next_alloc() {
+        TRAP.store(true, Relaxed);
+    }
+
+    fn on_alloc(bytes: u64) {
+        if TRAP.swap(false, Relaxed) {
+            panic!("CountingAlloc trap: allocation on a guarded path");
+        }
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        let live = LIVE_BYTES.fetch_add(bytes, Relaxed) + bytes;
+        // Monotone max without a CAS loop: racing updates can only
+        // under-report the peak by a transient amount, which is fine
+        // for a single-threaded simulator measured at quiesce points.
+        if live > PEAK_BYTES.load(Relaxed) {
+            PEAK_BYTES.store(live, Relaxed);
+        }
+    }
+
+    fn on_dealloc(bytes: u64) {
+        LIVE_BYTES.fetch_sub(bytes, Relaxed);
+    }
+}
+
+// SAFETY: defers all allocation to `System`; the counters are plain
+// atomics and never touch the allocator themselves.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            Self::on_alloc(new_size as u64);
+            Self::on_dealloc(layout.size() as u64);
+        }
+        p
+    }
+}

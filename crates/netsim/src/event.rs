@@ -162,6 +162,21 @@ impl EventQueue {
         }
     }
 
+    /// Pre-reserve `per_slot` entries in every wheel slot and the
+    /// ready/overflow heaps, so a steady-state workload whose per-slot
+    /// event density stays under `per_slot` never grows a slot `Vec`
+    /// mid-run. Used by allocation-budget tests; a no-op for capacity
+    /// already reserved.
+    pub fn prewarm(&mut self, per_slot: usize) {
+        for slot in &mut self.slots {
+            slot.reserve(per_slot.saturating_sub(slot.len()));
+        }
+        self.ready
+            .reserve(per_slot.saturating_sub(self.ready.len()));
+        self.overflow
+            .reserve(per_slot.saturating_sub(self.overflow.len()));
+    }
+
     /// Schedule `event` at absolute time `at`.
     pub fn schedule(&mut self, at: Time, event: Event) {
         let seq = self.next_seq;

@@ -10,7 +10,7 @@
 use crate::cc::{clamp_rate, AckView, ReceiverCc, SenderCc};
 use crate::densemap::DenseMap;
 use crate::flow::{FctRecord, FlowPath, FlowSpec};
-use crate::packet::{Packet, PacketKind};
+use crate::packet::{Packet, PacketKind, PktPool};
 use crate::types::{FlowId, LinkId, NodeId};
 #[cfg(test)]
 use crate::units::tx_time;
@@ -87,10 +87,9 @@ pub struct RecvFlow {
 }
 
 /// Result of asking the host for its next data packet.
-#[allow(clippy::large_enum_variant)] // packets move by value on purpose
 pub enum HostTx {
-    /// Transmit this packet now.
-    Packet(Packet),
+    /// Transmit this packet now (boxed straight out of the pool).
+    Packet(Box<Packet>),
     /// Nothing ready; wake the host no later than this time.
     WakeAt(Time),
     /// No flow has anything to send.
@@ -98,19 +97,26 @@ pub enum HostTx {
 }
 
 /// What the host wants done after processing an arrival.
+///
+/// Fixed-size on purpose: every `on_*` dispatch touches exactly one
+/// flow, so at most one ACK, one CNP, one CC timer, and one RTO check
+/// can result — plain `Option`s keep the per-arrival path free of heap
+/// allocation.
 #[derive(Default)]
 pub struct HostOutput {
-    /// Control packets (ACKs/CNPs) to enqueue on the uplink.
-    pub control: Vec<Packet>,
+    /// ACK to enqueue on the uplink.
+    pub ack: Option<Packet>,
+    /// CNP to enqueue on the uplink.
+    pub cnp: Option<Packet>,
     /// A flow completed at this receiver.
     pub completed: Option<FctRecord>,
-    /// CC timers to (re)schedule: (flow, absolute time).
-    pub timers: Vec<(FlowId, Time)>,
-    /// RTO checks to (re)schedule: (flow, absolute time). Emitted when
+    /// CC timer to (re)schedule: (flow, absolute time).
+    pub timer: Option<(FlowId, Time)>,
+    /// RTO check to (re)schedule: (flow, absolute time). Emitted when
     /// ACK progress resets the backoff and the pending (backed-off)
     /// check sits too far in the future, or when the chain must be
     /// re-armed.
-    pub rto_checks: Vec<(FlowId, Time)>,
+    pub rto_check: Option<(FlowId, Time)>,
     /// A sending flow just became fully acknowledged.
     pub sender_done: bool,
 }
@@ -207,8 +213,8 @@ impl Host {
 
     /// Pick the next data packet under pacing/window constraints.
     ///
-    /// `pkt_id` is the global packet id counter.
-    pub fn next_data_packet(&mut self, now: Time, pkt_id: &mut u64) -> HostTx {
+    /// `pool` hands out the global packet id and a recycled heap box.
+    pub fn next_data_packet(&mut self, now: Time, pool: &mut PktPool) -> HostTx {
         if self.rr.is_empty() {
             return HostTx::Idle;
         }
@@ -225,19 +231,19 @@ impl Host {
                 earliest = Some(earliest.map_or(f.next_avail, |e: Time| e.min(f.next_avail)));
                 continue;
             }
-            // Build the packet.
+            // Build the packet into a recycled box.
             let remaining = f.spec.size_bytes - f.bytes_sent;
             let payload = (remaining.min(self.mtu_bytes as u64)) as u32;
-            *pkt_id += 1;
-            let pkt = Packet::data(
-                *pkt_id,
+            let id = pool.next_id();
+            let pkt = pool.boxed(Packet::data(
+                id,
                 fid,
                 f.spec.src,
                 f.spec.dst,
                 f.bytes_sent,
                 payload,
                 now,
-            );
+            ));
             f.bytes_sent += payload as u64;
             // Pace on wire bytes at the CC rate.
             let rate = clamp_rate(f.cc.rate_bps(), f.path.line_rate_bps);
@@ -254,16 +260,19 @@ impl Host {
     }
 
     /// Process an arriving packet addressed to this host.
-    pub fn on_packet(&mut self, pkt: &Packet, now: Time, pkt_id: &mut u64) -> HostOutput {
+    ///
+    /// Takes the packet mutably so the INT echo can move the cold stack
+    /// out of a data packet into its ACK instead of copying it.
+    pub fn on_packet(&mut self, pkt: &mut Packet, now: Time, pool: &mut PktPool) -> HostOutput {
         match pkt.kind {
-            PacketKind::Data => self.on_data(pkt, now, pkt_id),
+            PacketKind::Data => self.on_data(pkt, now, pool),
             PacketKind::Ack => self.on_ack(pkt, now),
             PacketKind::Cnp => self.on_cnp(pkt, now),
             PacketKind::SwitchInt => self.on_switch_int(pkt, now),
         }
     }
 
-    fn on_data(&mut self, pkt: &Packet, now: Time, pkt_id: &mut u64) -> HostOutput {
+    fn on_data(&mut self, pkt: &mut Packet, now: Time, pool: &mut PktPool) -> HostOutput {
         let mut out = HostOutput::default();
         let Some(rf) = self.recv.get_mut(pkt.flow) else {
             debug_assert!(false, "data for unknown flow {}", pkt.flow);
@@ -276,17 +285,16 @@ impl Host {
             rf.expected += pkt.payload as u64;
         }
         let fields = rf.cc.on_data(pkt, now);
-        *pkt_id += 1;
-        let mut ack = Packet::ack_for(*pkt_id, pkt, rf.expected, now);
+        let mut ack = Packet::ack_for(pool.next_id(), pkt, rf.expected, now);
         if fields.echo_int {
-            ack.int = pkt.int;
+            // Move, don't copy: the data packet's box is about to be
+            // recycled, so the ACK takes ownership of the INT stack.
+            ack.int = pkt.int.take();
         }
         ack.mlcc = fields.mlcc;
-        out.control.push(ack);
+        out.ack = Some(ack);
         if fields.send_cnp {
-            *pkt_id += 1;
-            out.control
-                .push(Packet::cnp(*pkt_id, pkt.flow, pkt.dst, pkt.src));
+            out.cnp = Some(Packet::cnp(pool.next_id(), pkt.flow, pkt.dst, pkt.src));
         }
         if !rf.complete && rf.expected >= rf.spec.size_bytes {
             rf.complete = true;
@@ -316,8 +324,8 @@ impl Host {
             seq: pkt.seq,
             ecn_echo: pkt.ecn_echo,
             rtt_sample: now.saturating_sub(pkt.ts_sent),
-            int: &pkt.int,
-            r_dqm_bps: pkt.mlcc.r_dqm_bps,
+            int: pkt.int(),
+            r_dqm_bps: pkt.mlcc.r_dqm_bps(),
             now,
         };
         f.cc.on_ack(&view);
@@ -338,7 +346,7 @@ impl Host {
             let pull_in = progressed && f.rto_at.is_some_and(|t| t > want);
             if f.rto_at.is_none() || pull_in {
                 f.rto_at = Some(want);
-                out.rto_checks.push((f.spec.id, want));
+                out.rto_check = Some((f.spec.id, want));
             }
         }
         Self::sync_timer(f, &mut out);
@@ -357,7 +365,7 @@ impl Host {
     fn on_switch_int(&mut self, pkt: &Packet, now: Time) -> HostOutput {
         let mut out = HostOutput::default();
         if let Some(f) = self.send.get_mut(pkt.flow) {
-            f.cc.on_switch_int(&pkt.int, now);
+            f.cc.on_switch_int(pkt.int(), now);
             Self::sync_timer(f, &mut out);
         }
         out
@@ -382,7 +390,7 @@ impl Host {
         let want = if f.done { None } else { f.cc.next_timer() };
         if want != f.timer_at {
             if let Some(t) = want {
-                out.timers.push((f.spec.id, t));
+                out.timer = Some((f.spec.id, t));
             }
             f.timer_at = want;
         }
@@ -524,15 +532,15 @@ mod tests {
     #[test]
     fn paces_at_cc_rate() {
         let mut h = host_with_flow(1e9, 10_000);
-        let mut id = 0;
-        let p1 = match h.next_data_packet(0, &mut id) {
+        let mut pool = PktPool::default();
+        let p1 = match h.next_data_packet(0, &mut pool) {
             HostTx::Packet(p) => p,
             _ => panic!("expected packet"),
         };
         assert_eq!(p1.seq, 0);
         assert_eq!(p1.payload, 1000);
         // Immediately asking again: pacing blocks until size*8/rate.
-        match h.next_data_packet(0, &mut id) {
+        match h.next_data_packet(0, &mut pool) {
             HostTx::WakeAt(t) => {
                 let expect = tx_time(p1.size as u64, 1_000_000_000);
                 assert_eq!(t, expect);
@@ -544,15 +552,18 @@ mod tests {
     #[test]
     fn last_packet_is_short() {
         let mut h = host_with_flow(25e9, 2500);
-        let mut id = 0;
+        let mut pool = PktPool::default();
         let sizes: Vec<u32> = (0..3)
-            .map(|i| match h.next_data_packet(i * 1000 * US, &mut id) {
+            .map(|i| match h.next_data_packet(i * 1000 * US, &mut pool) {
                 HostTx::Packet(p) => p.payload,
                 _ => panic!("expected packet"),
             })
             .collect();
         assert_eq!(sizes, vec![1000, 1000, 500]);
-        assert!(matches!(h.next_data_packet(10 * MS, &mut id), HostTx::Idle));
+        assert!(matches!(
+            h.next_data_packet(10 * MS, &mut pool),
+            HostTx::Idle
+        ));
     }
 
     #[test]
@@ -564,26 +575,26 @@ mod tests {
             Box::new(FixedRateCc::with_window(25e9, 1500)),
             0,
         );
-        let mut id = 0;
+        let mut pool = PktPool::default();
         // First packet fits the 1500-byte window.
-        let p1 = match h.next_data_packet(0, &mut id) {
+        let p1 = match h.next_data_packet(0, &mut pool) {
             HostTx::Packet(p) => p,
             _ => panic!(),
         };
         // 1000 in flight, window 1500 → second allowed...
         let now = 1000 * US;
-        let _p2 = match h.next_data_packet(now, &mut id) {
+        let _p2 = match h.next_data_packet(now, &mut pool) {
             HostTx::Packet(p) => p,
             _ => panic!(),
         };
         // ...2000 in flight ≥ 1500 → blocked (Idle: window, not pacing).
-        assert!(matches!(h.next_data_packet(now, &mut id), HostTx::Idle));
+        assert!(matches!(h.next_data_packet(now, &mut pool), HostTx::Idle));
         // ACK the first packet: window opens again.
         let data = p1;
         let ack = Packet::ack_for(99, &data, 1000, now);
         h.on_ack(&ack, now);
         assert!(matches!(
-            h.next_data_packet(2 * now, &mut id),
+            h.next_data_packet(2 * now, &mut pool),
             HostTx::Packet(_)
         ));
     }
@@ -599,14 +610,14 @@ mod tests {
             start: 5 * US,
         };
         h.add_recv_flow(s, path(), Box::new(crate::cc::PlainReceiver));
-        let mut id = 100;
-        let d1 = Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0);
-        let out1 = h.on_packet(&d1, 10 * US, &mut id);
-        assert_eq!(out1.control.len(), 1);
-        assert_eq!(out1.control[0].seq, 1000);
+        let mut pool = PktPool::default();
+        let mut d1 = Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0);
+        let out1 = h.on_packet(&mut d1, 10 * US, &mut pool);
+        assert_eq!(out1.ack.expect("data is acked").seq, 1000);
+        assert!(out1.cnp.is_none());
         assert!(out1.completed.is_none());
-        let d2 = Packet::data(2, FlowId(0), NodeId(0), NodeId(1), 1000, 1000, 0);
-        let out2 = h.on_packet(&d2, 20 * US, &mut id);
+        let mut d2 = Packet::data(2, FlowId(0), NodeId(0), NodeId(1), 1000, 1000, 0);
+        let out2 = h.on_packet(&mut d2, 20 * US, &mut pool);
         let rec = out2.completed.expect("flow completed");
         assert_eq!(rec.size_bytes, 2000);
         assert_eq!(rec.start, 5 * US);
@@ -617,20 +628,24 @@ mod tests {
     fn out_of_order_data_is_not_acked_forward() {
         let mut h = Host::new(NodeId(1), LinkId(1), 1000);
         h.add_recv_flow(spec(0, 3000), path(), Box::new(crate::cc::PlainReceiver));
-        let mut id = 0;
+        let mut pool = PktPool::default();
         // Packet with seq 1000 arrives first: expected stays 0.
-        let d = Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 1000, 1000, 0);
-        let out = h.on_packet(&d, 0, &mut id);
-        assert_eq!(out.control[0].seq, 0, "hole → cumulative ack stays at 0");
+        let mut d = Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 1000, 1000, 0);
+        let out = h.on_packet(&mut d, 0, &mut pool);
+        assert_eq!(
+            out.ack.expect("hole is still acked").seq,
+            0,
+            "hole → cumulative ack stays at 0"
+        );
     }
 
     #[test]
     fn rto_rewinds_on_stall() {
         let mut h = host_with_flow(25e9, 10_000);
-        let mut id = 0;
+        let mut pool = PktPool::default();
         // Send three packets, ack nothing.
         for _ in 0..3 {
-            match h.next_data_packet(h.send_flow(FlowId(0)).unwrap().next_avail, &mut id) {
+            match h.next_data_packet(h.send_flow(FlowId(0)).unwrap().next_avail, &mut pool) {
                 HostTx::Packet(_) => {}
                 _ => panic!(),
             }
@@ -649,8 +664,8 @@ mod tests {
     #[test]
     fn rto_stale_events_are_ignored() {
         let mut h = host_with_flow(25e9, 10_000);
-        let mut id = 0;
-        let _ = h.next_data_packet(0, &mut id);
+        let mut pool = PktPool::default();
+        let _ = h.next_data_packet(0, &mut pool);
         let at = h.arm_rto(FlowId(0), 0).unwrap();
         // An event at a time the mirror doesn't expect is stale: no
         // rewind, no rescheduling (the real chain stays pending).
@@ -665,8 +680,8 @@ mod tests {
     #[test]
     fn rto_backs_off_exponentially_and_caps() {
         let mut h = host_with_flow(25e9, 10_000);
-        let mut id = 0;
-        let _ = h.next_data_packet(0, &mut id);
+        let mut pool = PktPool::default();
+        let _ = h.next_data_packet(0, &mut pool);
         let base = h.send_flow(FlowId(0)).unwrap().rto_base;
         let mut at = h.arm_rto(FlowId(0), 0).unwrap();
         assert_eq!(at, base);
@@ -677,7 +692,7 @@ mod tests {
             let next = next.unwrap();
             intervals.push(next - at);
             // Go-back-N resend so bytes stay in flight for the next check.
-            match h.next_data_packet(at, &mut id) {
+            match h.next_data_packet(at, &mut pool) {
                 HostTx::Packet(_) => {}
                 _ => panic!("rewind must make the flow sendable again"),
             }
@@ -699,8 +714,8 @@ mod tests {
     #[test]
     fn ack_progress_resets_backoff_and_pulls_in_check() {
         let mut h = host_with_flow(25e9, 10_000);
-        let mut id = 0;
-        let p1 = match h.next_data_packet(0, &mut id) {
+        let mut pool = PktPool::default();
+        let p1 = match h.next_data_packet(0, &mut pool) {
             HostTx::Packet(p) => p,
             _ => panic!(),
         };
@@ -710,7 +725,7 @@ mod tests {
         for _ in 0..3 {
             let (retx, next) = h.on_rto_check(FlowId(0), at);
             assert!(retx);
-            match h.next_data_packet(at, &mut id) {
+            match h.next_data_packet(at, &mut pool) {
                 HostTx::Packet(_) => {}
                 _ => panic!(),
             }
@@ -725,7 +740,7 @@ mod tests {
         let out = h.on_ack(&ack, now);
         let f = h.send_flow(FlowId(0)).unwrap();
         assert_eq!(f.rto_shift, 0);
-        assert_eq!(out.rto_checks, vec![(FlowId(0), now + f.rto_base)]);
+        assert_eq!(out.rto_check, Some((FlowId(0), now + f.rto_base)));
         assert_eq!(f.rto_at, Some(now + f.rto_base));
         // The old (superseded) event is now stale.
         let (retx, next) = h.on_rto_check(FlowId(0), at);
@@ -737,9 +752,9 @@ mod tests {
         // Regression: the check chain must survive arbitrary interleaving
         // of checks and ACKs — a live flow always has rto_at set.
         let mut h = host_with_flow(25e9, 3000);
-        let mut id = 0;
+        let mut pool = PktPool::default();
         for _ in 0..3 {
-            let _ = h.next_data_packet(h.send_flow(FlowId(0)).unwrap().next_avail, &mut id);
+            let _ = h.next_data_packet(h.send_flow(FlowId(0)).unwrap().next_avail, &mut pool);
         }
         let mut at = h.arm_rto(FlowId(0), 0).unwrap();
         let mut acked = 0u64;
@@ -762,7 +777,7 @@ mod tests {
                 let ack = Packet::ack_for(50 + round, &d, acked, at - 1);
                 let out = h.on_ack(&ack, at - 1);
                 // An emitted rto_check supersedes our local `at`.
-                if let Some(&(_, t)) = out.rto_checks.last() {
+                if let Some((_, t)) = out.rto_check {
                     at = t;
                 }
             }
@@ -775,8 +790,8 @@ mod tests {
     #[test]
     fn gc_removes_done_flows() {
         let mut h = host_with_flow(25e9, 1000);
-        let mut id = 0;
-        let p = match h.next_data_packet(0, &mut id) {
+        let mut pool = PktPool::default();
+        let p = match h.next_data_packet(0, &mut pool) {
             HostTx::Packet(p) => p,
             _ => panic!(),
         };
@@ -784,7 +799,7 @@ mod tests {
         h.on_ack(&ack, 100);
         assert_eq!(h.active_send_flows(), 0);
         h.gc_finished();
-        assert!(matches!(h.next_data_packet(200, &mut id), HostTx::Idle));
+        assert!(matches!(h.next_data_packet(200, &mut pool), HostTx::Idle));
     }
 
     #[test]
@@ -802,15 +817,15 @@ mod tests {
             Box::new(FixedRateCc::new(25e9)),
             0,
         );
-        let mut id = 0;
+        let mut pool = PktPool::default();
         let mut seen = Vec::new();
         let mut now = 0;
         for _ in 0..4 {
-            match h.next_data_packet(now, &mut id) {
+            match h.next_data_packet(now, &mut pool) {
                 HostTx::Packet(p) => seen.push(p.flow.0),
                 HostTx::WakeAt(t) => {
                     now = t;
-                    match h.next_data_packet(now, &mut id) {
+                    match h.next_data_packet(now, &mut pool) {
                         HostTx::Packet(p) => seen.push(p.flow.0),
                         _ => panic!(),
                     }
@@ -849,11 +864,11 @@ mod tests {
             Box::new(FixedRateCc::new(25e9)),
             0,
         );
-        let mut id = 0;
+        let mut pool = PktPool::default();
         let mut now = 0;
-        let next = |h: &mut Host, now: &mut Time, id: &mut u64| -> u32 {
+        let next = |h: &mut Host, now: &mut Time, pool: &mut PktPool| -> u32 {
             loop {
-                match h.next_data_packet(*now, id) {
+                match h.next_data_packet(*now, pool) {
                     HostTx::Packet(p) => return p.flow.0,
                     HostTx::WakeAt(t) => *now = t,
                     HostTx::Idle => panic!("long flows still active"),
@@ -862,8 +877,8 @@ mod tests {
         };
         let mut served: Vec<u32> = Vec::new();
         // One full round: 0 (short, completes), then the two long flows.
-        assert_eq!(next(&mut h, &mut now, &mut id), 0);
-        served.push(next(&mut h, &mut now, &mut id));
+        assert_eq!(next(&mut h, &mut now, &mut pool), 0);
+        served.push(next(&mut h, &mut now, &mut pool));
         // The short flow completes mid-round; GC churns the ring while
         // the cursor sits between the two long flows.
         let d = Packet::data(99, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0);
@@ -874,10 +889,10 @@ mod tests {
         // More churn later in the test: register and complete another
         // short flow between long-flow transmissions.
         for round in 0..6 {
-            served.push(next(&mut h, &mut now, &mut id));
+            served.push(next(&mut h, &mut now, &mut pool));
             if round == 2 {
                 h.add_send_flow(spec(3, 1000), path(), Box::new(FixedRateCc::new(25e9)), now);
-                assert_eq!(next(&mut h, &mut now, &mut id), 3);
+                assert_eq!(next(&mut h, &mut now, &mut pool), 3);
                 let d = Packet::data(101, FlowId(3), NodeId(0), NodeId(1), 0, 1000, 0);
                 let ack = Packet::ack_for(102, &d, 1000, now);
                 assert!(h.on_ack(&ack, now).sender_done);

@@ -36,6 +36,7 @@
 //! assert_eq!(sim.out.fcts.len(), 1);
 //! ```
 
+pub mod alloc;
 pub mod buffer;
 pub mod cc;
 pub mod config;
@@ -76,7 +77,7 @@ pub mod prelude {
     pub use crate::int::{HopHistory, IntHop, IntStack};
     pub use crate::link::LinkOpts;
     pub use crate::monitor::{MonitorLog, MonitorSpec, Sample};
-    pub use crate::packet::{MlccFields, Packet, PacketKind};
+    pub use crate::packet::{MlccFields, Packet, PacketKind, PktPool, MAX_PACKET_BYTES};
     pub use crate::pfc::{PfcConfig, PfcThreshold};
     pub use crate::rng::{SimRng, Xoshiro256StarStar};
     pub use crate::sim::{SimOutput, Simulator};

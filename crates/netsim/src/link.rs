@@ -126,12 +126,19 @@ mod tests {
     #[test]
     fn queued_bytes_spans_fifo_and_pfq() {
         let mut l = mk_link();
-        l.queues
-            .enqueue(Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0));
+        l.queues.enqueue(Box::new(Packet::data(
+            1,
+            FlowId(0),
+            NodeId(0),
+            NodeId(1),
+            0,
+            1000,
+            0,
+        )));
         assert_eq!(l.queued_bytes(), 1048);
         let mut pfq = PfqSet::new(1 * GBPS, 1048);
         pfq.enqueue(
-            Packet::data(2, FlowId(1), NodeId(0), NodeId(1), 0, 1000, 0),
+            Box::new(Packet::data(2, FlowId(1), NodeId(0), NodeId(1), 0, 1000, 0)),
             0,
         );
         l.pfq = Some(pfq);

@@ -12,10 +12,11 @@ use crate::packet::Packet;
 use crate::types::FlowId;
 use crate::units::{tx_time, Bandwidth, Time, SEC};
 
-/// One flow's virtual queue.
+/// One flow's virtual queue. Holds `Box<Packet>` so enqueue/dequeue
+/// moves a pointer, never the packet struct.
 #[derive(Debug)]
 pub struct PfqState {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     bytes: u64,
     /// Applied dequeue rate (R_credit from the receiver's ACKs).
     rate_bps: Bandwidth,
@@ -88,11 +89,10 @@ impl PfqState {
 }
 
 /// Outcome of a dequeue attempt.
-#[allow(clippy::large_enum_variant)] // packets move by value on purpose
 #[derive(Debug)]
 pub enum PfqDequeue {
     /// A packet is ready now.
-    Packet(Packet),
+    Packet(Box<Packet>),
     /// Nothing is eligible yet; retry no earlier than this time.
     NextAt(Time),
     /// All virtual queues are empty.
@@ -140,10 +140,21 @@ impl PfqSet {
         self.flows.get(flow.index()).and_then(|s| s.as_deref())
     }
 
+    /// Pre-reserve ring capacity for `per_flow` packets in every
+    /// **existing** per-flow queue, so backlog oscillation below that
+    /// depth never grows a queue mid-run. Used by allocation-budget
+    /// tests after a warmup has created the flows' queues.
+    pub fn reserve_queues(&mut self, per_flow: usize) {
+        for st in self.flows.iter_mut().flatten() {
+            st.queue.reserve(per_flow.saturating_sub(st.queue.len()));
+        }
+        self.active.reserve(self.flows.len());
+    }
+
     /// Queue a data packet, creating the PFQ on first use. Returns true
     /// when the flow was new (the paper sends new PFQs at the initial
     /// rate).
-    pub fn enqueue(&mut self, pkt: Packet, now: Time) -> bool {
+    pub fn enqueue(&mut self, pkt: Box<Packet>, now: Time) -> bool {
         let init = self.init_rate;
         let size = pkt.size as u64;
         let flow = pkt.flow;
@@ -263,8 +274,16 @@ mod tests {
     use crate::types::NodeId;
     use crate::units::{GBPS, MS};
 
-    fn pkt(flow: u32, id: u64) -> Packet {
-        Packet::data(id, FlowId(flow), NodeId(0), NodeId(1), 0, 1000, 0)
+    fn pkt(flow: u32, id: u64) -> Box<Packet> {
+        Box::new(Packet::data(
+            id,
+            FlowId(flow),
+            NodeId(0),
+            NodeId(1),
+            0,
+            1000,
+            0,
+        ))
     }
 
     #[test]
@@ -434,19 +453,45 @@ mod proptests {
             let mut id = 0u64;
             for _ in 0..n_ops {
                 let flow = rng.gen_range(0..4) as u32;
-                let is_enqueue = rng.next_u64() & 1 == 0;
                 now += 10 * US;
-                if is_enqueue {
-                    id += 1;
-                    set.enqueue(
-                        Packet::data(id, FlowId(flow), NodeId(0), NodeId(1), 0, 1000, now),
-                        now,
-                    );
-                } else {
-                    let _ = set.dequeue(now);
+                match rng.gen_range(0..8) {
+                    0..=3 => {
+                        id += 1;
+                        set.enqueue(
+                            Box::new(Packet::data(
+                                id,
+                                FlowId(flow),
+                                NodeId(0),
+                                NodeId(1),
+                                0,
+                                1000,
+                                now,
+                            )),
+                            now,
+                        );
+                    }
+                    4..=5 => {
+                        // Dequeue; sometimes drop the box on the floor
+                        // (admission-fail churn) — accounting must not care.
+                        if let PfqDequeue::Packet(p) = set.dequeue(now) {
+                            drop(p);
+                        }
+                    }
+                    6 => {
+                        let rate = (1 + rng.gen_range(0..100)) * GBPS;
+                        set.set_rate(FlowId(flow), rate, now);
+                    }
+                    _ => set.set_credit(FlowId(flow), rng.gen_range(0..1000) as u32, now),
                 }
                 let per_flow: u64 = set.per_flow_bytes().map(|(_, b)| b).sum();
                 assert_eq!(per_flow, set.total_bytes());
+                for (f, b) in set.per_flow_bytes() {
+                    let st = set.get(f).unwrap();
+                    assert_eq!(st.bytes(), b);
+                    assert!(st.dequeued_bytes <= st.enqueued_bytes);
+                    assert_eq!(st.enqueued_bytes - st.dequeued_bytes, b);
+                    assert!(st.peak_bytes >= b);
+                }
             }
         }
     }

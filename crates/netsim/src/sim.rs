@@ -11,7 +11,7 @@ use crate::host::HostTx;
 use crate::int::IntHop;
 use crate::monitor::{MonitorLog, MonitorSpec, Sample};
 use crate::node::Node;
-use crate::packet::{Packet, PacketKind, CONTROL_PACKET_BYTES};
+use crate::packet::{Packet, PacketKind, PktPool, CONTROL_PACKET_BYTES};
 use crate::pfc::PfcAction;
 use crate::pfq::PfqDequeue;
 use crate::rng::{SimRng, Xoshiro256StarStar};
@@ -74,13 +74,11 @@ pub struct Simulator {
     pub paths: Vec<Option<FlowPath>>,
     factory: Box<dyn CcFactory>,
     rng: Xoshiro256StarStar,
-    pkt_id: u64,
-    /// Recycled boxes for in-flight [`Event::Arrival`] payloads, so
-    /// steady-state scheduling allocates nothing. The boxes themselves
-    /// are the resource being pooled: each is handed back to the event
-    /// queue on the next serialization.
-    #[allow(clippy::vec_box)]
-    pkt_pool: Vec<Box<Packet>>,
+    /// Packet-id source plus the recycled heap boxes (packets and INT
+    /// stacks) that make the steady-state data path allocation-free: a
+    /// packet lives in exactly one box from birth at the host NIC to
+    /// recycling at its sink.
+    pub pkt_pool: PktPool,
     pub out: SimOutput,
     /// Optional flight recorder (see [`crate::trace`]). Off by default.
     pub trace: Option<Trace>,
@@ -104,8 +102,7 @@ impl Simulator {
             flows: Vec::new(),
             paths: Vec::new(),
             factory,
-            pkt_id: 0,
-            pkt_pool: Vec::new(),
+            pkt_pool: PktPool::default(),
             out: SimOutput::default(),
             trace: None,
         };
@@ -123,6 +120,23 @@ impl Simulator {
     /// Attach a flight recorder with the given ring capacity.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Pre-provision the allocation-sensitive engine structures: spare
+    /// packet/INT boxes in the pool, wheel-slot and heap capacity in the
+    /// event queue, and ring capacity in every per-flow queue that
+    /// already exists. Allocation-budget tests call this (optionally
+    /// after a warmup run has created the flows' PFQ state) so the
+    /// measured steady-state window performs zero allocator calls.
+    /// Purely a capacity hint: event order and results are unaffected.
+    pub fn prewarm(&mut self, n_packets: usize, n_stacks: usize, events_per_slot: usize) {
+        self.pkt_pool.prewarm(n_packets, n_stacks);
+        self.events.prewarm(events_per_slot);
+        for lk in &mut self.links {
+            if let Some(pfq) = &mut lk.pfq {
+                pfq.reserve_queues(n_packets);
+            }
+        }
     }
 
     /// Attach a fault profile to one link (call before running).
@@ -401,34 +415,40 @@ impl Simulator {
         self.try_start_tx(uplink);
     }
 
-    fn handle_arrival(&mut self, link: LinkId, boxed: Box<Packet>) {
-        let pkt = *boxed;
-        self.pkt_pool.push(boxed);
+    fn handle_arrival(&mut self, link: LinkId, packet: Box<Packet>) {
         let dst = self.links[link.index()].dst;
         if self.nodes[dst.index()].is_host() {
-            self.host_arrival(dst, pkt);
+            self.host_arrival(dst, packet);
         } else {
-            self.switch_arrival(dst, link, pkt);
+            self.switch_arrival(dst, link, packet);
         }
     }
 
-    fn host_arrival(&mut self, node: NodeId, pkt: Packet) {
+    fn host_arrival(&mut self, node: NodeId, mut pkt: Box<Packet>) {
         let now = self.now;
         let (out, uplink) = {
             let h = self.nodes[node.index()].as_host_mut().expect("host");
-            let out = h.on_packet(&pkt, now, &mut self.pkt_id);
+            let out = h.on_packet(&mut pkt, now, &mut self.pkt_pool);
             if out.sender_done {
                 h.gc_finished();
             }
             (out, h.uplink)
         };
-        for c in out.control {
-            self.links[uplink.index()].queues.enqueue(c);
+        // The arrival box dies at its sink; recycle it first so the ACK
+        // it usually provokes is boxed into the very same allocation.
+        self.pkt_pool.put(pkt);
+        if let Some(ack) = out.ack {
+            let b = self.pkt_pool.boxed(ack);
+            self.links[uplink.index()].queues.enqueue(b);
         }
-        for (f, at) in out.timers {
+        if let Some(cnp) = out.cnp {
+            let b = self.pkt_pool.boxed(cnp);
+            self.links[uplink.index()].queues.enqueue(b);
+        }
+        if let Some((f, at)) = out.timer {
             self.events.schedule(at, Event::CcTimer { node, flow: f });
         }
-        for (f, at) in out.rto_checks {
+        if let Some((f, at)) = out.rto_check {
             self.events.schedule(at, Event::RtoCheck { node, flow: f });
         }
         if let Some(rec) = out.completed {
@@ -441,7 +461,7 @@ impl Simulator {
         self.try_start_tx(uplink);
     }
 
-    fn switch_arrival(&mut self, node: NodeId, in_link: LinkId, mut pkt: Packet) {
+    fn switch_arrival(&mut self, node: NodeId, in_link: LinkId, mut pkt: Box<Packet>) {
         let now = self.now;
         let (is_lh_in, has_dci) = {
             let sw = self.nodes[node.index()].as_switch().expect("switch");
@@ -452,10 +472,14 @@ impl Simulator {
         if pkt.is_data() && is_lh_in && self.cfg.dci.pfq_enabled {
             // "Erase and reinsert the INT information" (§3.2.2): the
             // sender-side records were already consumed by the
-            // near-source loop; the stack restarts here.
-            pkt.int.clear();
+            // near-source loop; the stack restarts here. Its box goes
+            // back to the pool rather than dying with the packet.
+            if let Some(s) = pkt.int.take() {
+                self.pkt_pool.put_int(s);
+            }
             let Some(egress) = self.routes.pick(node, pkt.dst, pkt.flow) else {
                 debug_assert!(false, "no route at DCI");
+                self.pkt_pool.put(pkt);
                 return;
             };
             let size = pkt.size as u64;
@@ -466,6 +490,7 @@ impl Simulator {
                         flow: pkt.flow,
                         at: node,
                     });
+                    self.pkt_pool.put(pkt);
                     return; // also counted by the buffer
                 }
                 let cap = sw.buffer.capacity();
@@ -514,10 +539,10 @@ impl Simulator {
                     if let Some(pl) = pfq_link {
                         let mut kick = false;
                         if let Some(pfq) = self.links[pl.index()].pfq.as_mut() {
-                            if let Some(cr) = pkt.mlcc.c_r {
+                            if let Some(cr) = pkt.mlcc.c_r() {
                                 pfq.set_credit(pkt.flow, cr, now);
                             }
-                            if let Some(r) = pkt.mlcc.r_credit_bps {
+                            if let Some(r) = pkt.mlcc.r_credit_bps() {
                                 pfq.set_rate(pkt.flow, r, now);
                                 kick = true;
                             }
@@ -535,10 +560,11 @@ impl Simulator {
 
     /// Normal store-and-forward at a switch (also used for locally
     /// generated Switch-INT feedback, with `in_link = None`).
-    fn forward_from(&mut self, node: NodeId, in_link: Option<LinkId>, mut pkt: Packet) {
+    fn forward_from(&mut self, node: NodeId, in_link: Option<LinkId>, mut pkt: Box<Packet>) {
         let now = self.now;
         let Some(egress) = self.routes.pick(node, pkt.dst, pkt.flow) else {
             debug_assert!(false, "no route {} → {}", node, pkt.dst);
+            self.pkt_pool.put(pkt);
             return;
         };
         let size = pkt.size as u64;
@@ -550,6 +576,7 @@ impl Simulator {
                     flow: pkt.flow,
                     at: node,
                 });
+                self.pkt_pool.put(pkt);
                 return;
             }
         }
@@ -630,7 +657,7 @@ impl Simulator {
         if pkt.is_none() && !data_paused {
             let src = self.links[l.index()].src;
             if let Node::Host(h) = &mut self.nodes[src.index()] {
-                match h.next_data_packet(now, &mut self.pkt_id) {
+                match h.next_data_packet(now, &mut self.pkt_pool) {
                     HostTx::Packet(p) => pkt = Some(p),
                     HostTx::WakeAt(t) => {
                         let need = h.wake_at.is_none_or(|w| w <= now || w > t);
@@ -685,9 +712,11 @@ impl Simulator {
             );
         }
 
-        // INT insertion at serialization start.
+        // INT insertion at serialization start. The hop is computed
+        // under a shared borrow of the link; the stack box (if the
+        // packet does not carry one yet) comes from the pool.
         {
-            let lk = &mut self.links[l.index()];
+            let lk = &self.links[l.index()];
             if pkt.is_data() && lk.opts.int_enabled {
                 let qlen = if from_pfq {
                     lk.pfq
@@ -697,18 +726,23 @@ impl Simulator {
                 } else {
                     lk.queues.bytes(Priority::Data)
                 };
-                pkt.int.push(IntHop {
+                let hop = IntHop {
                     hop_id: lk.hop_id,
                     ts: now,
                     qlen_bytes: qlen,
                     tx_bytes: lk.tx_bytes,
                     link_bps: lk.bandwidth,
                     is_dci: lk.opts.int_is_dci || from_pfq,
-                });
+                };
+                if pkt.int.is_none() {
+                    pkt.int = Some(self.pkt_pool.take_int());
+                }
+                pkt.int.as_mut().expect("just attached").push(hop);
             }
             if from_pfq {
                 // Algorithm 1: stamp the PFQ's credit C_D into the data.
-                pkt.mlcc.c_d = lk.pfq.as_ref().and_then(|p| p.c_d(pkt.flow));
+                pkt.mlcc
+                    .set_c_d(lk.pfq.as_ref().and_then(|p| p.c_d(pkt.flow)));
             }
         }
 
@@ -720,20 +754,18 @@ impl Simulator {
                 .as_switch()
                 .is_some_and(|sw| sw.is_long_haul_egress(l));
             if is_lh {
+                // Strip the stack by move: either it rides the feedback
+                // packet or its box goes straight back to the pool.
                 let stack = pkt.int.take();
                 let due = self.nodes[src.index()]
                     .as_switch_mut()
                     .and_then(|sw| sw.dci.as_mut())
                     .is_some_and(|d| d.switch_int_due(pkt.flow, now));
                 if due {
-                    self.pkt_id += 1;
-                    feedback = Some(Packet::switch_int(
-                        self.pkt_id,
-                        pkt.flow,
-                        src,
-                        pkt.src,
-                        stack,
-                    ));
+                    let id = self.pkt_pool.next_id();
+                    feedback = Some(Packet::switch_int(id, pkt.flow, src, pkt.src, stack));
+                } else if let Some(s) = stack {
+                    self.pkt_pool.put_int(s);
                 }
             }
         }
@@ -762,23 +794,28 @@ impl Simulator {
         }
         match arrival_at {
             Some(at) => {
-                let packet = match self.pkt_pool.pop() {
-                    Some(mut b) => {
-                        *b = pkt;
-                        b
-                    }
-                    None => Box::new(pkt),
-                };
-                self.events.schedule(at, Event::Arrival { link: l, packet });
+                // The packet keeps living in the same box it was born
+                // in: scheduling the arrival moves one pointer.
+                self.events.schedule(
+                    at,
+                    Event::Arrival {
+                        link: l,
+                        packet: pkt,
+                    },
+                );
             }
-            None => self.record(TraceEvent::PacketLost {
-                flow: pkt.flow,
-                link: l,
-            }),
+            None => {
+                self.record(TraceEvent::PacketLost {
+                    flow: pkt.flow,
+                    link: l,
+                });
+                self.pkt_pool.put(pkt);
+            }
         }
 
         if let Some(fb) = feedback {
-            self.forward_from(src, None, fb);
+            let b = self.pkt_pool.boxed(fb);
+            self.forward_from(src, None, b);
         }
     }
 
@@ -791,10 +828,10 @@ impl Simulator {
             let out = h.on_cc_timer(flow, now);
             (out, h.uplink)
         };
-        for (f, at) in out.timers {
+        if let Some((f, at)) = out.timer {
             self.events.schedule(at, Event::CcTimer { node, flow: f });
         }
-        for (f, at) in out.rto_checks {
+        if let Some((f, at)) = out.rto_check {
             self.events.schedule(at, Event::RtoCheck { node, flow: f });
         }
         self.try_start_tx(uplink);
@@ -824,21 +861,26 @@ impl Simulator {
 
     fn handle_monitor(&mut self) {
         let now = self.now;
+        // Pre-size every per-sample vector from the spec: a sample's
+        // shape is fully known up front, so collection never reallocates
+        // mid-push.
+        let n_q = self.out.monitor.spec.queues.len();
+        let n_f = self.out.monitor.spec.flows.len();
+        let n_p = self.out.monitor.spec.pfc_switches.len();
+        let n_fl = self.out.monitor.spec.fault_links.len();
         let mut s = Sample {
             t: now,
-            queue_bytes: Vec::new(),
-            flow_rx_bytes: Vec::new(),
-            pfc_pauses: Vec::new(),
+            queue_bytes: Vec::with_capacity(n_q),
+            flow_rx_bytes: Vec::with_capacity(n_f),
+            pfc_pauses: Vec::with_capacity(n_p),
             pfq_per_flow: Vec::new(),
-            fault_drops: Vec::new(),
+            fault_drops: Vec::with_capacity(n_fl),
         };
         // Sample against the spec without holding a borrow on out.monitor.
-        let n_q = self.out.monitor.spec.queues.len();
         for i in 0..n_q {
             let q = self.out.monitor.spec.queues[i];
             s.queue_bytes.push(self.links[q.index()].queued_bytes());
         }
-        let n_f = self.out.monitor.spec.flows.len();
         for i in 0..n_f {
             let f = self.out.monitor.spec.flows[i];
             let dst = self.flows[f.index()].dst;
@@ -848,7 +890,6 @@ impl Simulator {
                 .map_or(0, |r| r.expected);
             s.flow_rx_bytes.push(b);
         }
-        let n_p = self.out.monitor.spec.pfc_switches.len();
         for i in 0..n_p {
             let n = self.out.monitor.spec.pfc_switches[i];
             s.pfc_pauses.push(
@@ -862,7 +903,6 @@ impl Simulator {
                 s.pfq_per_flow = pfq.per_flow_bytes().collect();
             }
         }
-        let n_fl = self.out.monitor.spec.fault_links.len();
         for i in 0..n_fl {
             let l = self.out.monitor.spec.fault_links[i];
             s.fault_drops

@@ -81,12 +81,28 @@ pub struct Trace {
     pub dropped_records: u64,
 }
 
+/// Cap on the eager ring preallocation done by [`Trace::new`], in
+/// records. Callers that want a different reservation (e.g. the full
+/// ring up front so recording never reallocates) use
+/// [`Trace::with_prealloc`] and say so explicitly.
+pub const DEFAULT_PREALLOC_RECORDS: usize = 1 << 20;
+
 impl Trace {
     /// A trace holding up to `capacity` records (oldest evicted first).
+    /// Reserves up to [`DEFAULT_PREALLOC_RECORDS`] records immediately;
+    /// larger rings grow on demand.
     pub fn new(capacity: usize) -> Self {
+        Trace::with_prealloc(capacity, capacity.min(DEFAULT_PREALLOC_RECORDS))
+    }
+
+    /// A trace holding up to `capacity` records, with exactly
+    /// `prealloc` records (clamped to `capacity`) reserved up front.
+    /// `with_prealloc(c, c)` guarantees recording never reallocates.
+    pub fn with_prealloc(capacity: usize, prealloc: usize) -> Self {
+        let capacity = capacity.max(1);
         Trace {
-            records: VecDeque::with_capacity(capacity.min(1 << 20)),
-            capacity: capacity.max(1),
+            records: VecDeque::with_capacity(prealloc.min(capacity)),
+            capacity,
             flow_filter: None,
             dropped_records: 0,
         }
@@ -213,6 +229,23 @@ mod tests {
         ); // node-scoped: kept
         assert_eq!(t.len(), 2);
         assert_eq!(t.count(|e| matches!(e, TraceEvent::PfcPause { .. })), 1);
+    }
+
+    #[test]
+    fn explicit_prealloc_reserves_full_ring() {
+        // Full-ring reservation: capacity never changes while recording.
+        let mut t = Trace::with_prealloc(100, 100);
+        let cap0 = t.records.capacity();
+        assert!(cap0 >= 100);
+        for i in 0..250 {
+            t.record(i, started(i as u32));
+        }
+        assert_eq!(t.records.capacity(), cap0, "ring must not reallocate");
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.dropped_records, 150);
+        // Zero prealloc is also explicit and valid: grows lazily.
+        let lazy = Trace::with_prealloc(100, 0);
+        assert_eq!(lazy.records.capacity(), 0);
     }
 
     #[test]

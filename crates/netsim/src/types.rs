@@ -97,6 +97,16 @@ impl Priority {
             Priority::Data => 1,
         }
     }
+
+    /// Inverse of [`Priority::index`]. Panics on out-of-range input.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            0 => Priority::Control,
+            1 => Priority::Data,
+            _ => panic!("priority index {i} out of range"),
+        }
+    }
 }
 
 /// Number of priority classes modelled per link.

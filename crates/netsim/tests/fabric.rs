@@ -25,8 +25,8 @@ struct ProbeReceiver(Rc<RefCell<Captured>>);
 impl ReceiverCc for ProbeReceiver {
     fn on_data(&mut self, pkt: &Packet, now: Time) -> AckFields {
         let mut c = self.0.borrow_mut();
-        c.stacks.push((now, pkt.int));
-        c.c_ds.push(pkt.mlcc.c_d);
+        c.stacks.push((now, *pkt.int()));
+        c.c_ds.push(pkt.mlcc.c_d());
         AckFields::default()
     }
 }
