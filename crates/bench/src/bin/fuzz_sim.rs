@@ -1,0 +1,142 @@
+//! Deterministic scenario fuzzer: random topologies, workloads, fault
+//! profiles, and CC assignments, each run under the fabric invariant
+//! auditor (`--features audit`).
+//!
+//! * `fuzz_sim [--seeds N] [--start S]` — sweep N seeds (default 200).
+//! * `fuzz_sim --smoke` — a 30-seed CI sweep.
+//! * `fuzz_sim --replay <spec>` — run one spec verbatim, loudly.
+//!
+//! On a violation the sweep shrinks the scenario to a minimal
+//! reproduction and prints it as a replay command line, then exits
+//! nonzero.
+
+use mlcc_bench::scenarios::fuzz::{parse_spec, run_spec, shrink, FuzzOutcome, FuzzSpec};
+use mlcc_bench::scenarios::run_parallel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: u64 = 200;
+    let mut start: u64 = 1;
+    let mut replay: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => seeds = 30,
+            "--seeds" => {
+                i += 1;
+                seeds = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seeds needs a number"));
+            }
+            "--start" => {
+                i += 1;
+                start = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--start needs a number"));
+            }
+            "--replay" => {
+                i += 1;
+                replay = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--replay needs a spec")),
+                );
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    #[cfg(not(feature = "audit"))]
+    eprintln!(
+        "warning: built without --features audit; invariant checks are \
+         compiled out and only outright panics will be caught"
+    );
+
+    if let Some(spec) = replay {
+        let spec = parse_spec(&spec).unwrap_or_else(|e| usage(&e));
+        let out = run_spec(&spec);
+        report_one(&spec, &out);
+        std::process::exit(i32::from(out.violation.is_some()));
+    }
+
+    // Sweep. Violating runs panic under the hood; keep the default hook
+    // quiet so a sweep over bad seeds doesn't spew 200 backtraces.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut ran: u64 = 0;
+    let mut events: u64 = 0;
+    let mut incomplete: u64 = 0;
+    let mut first_violation: Option<(FuzzSpec, FuzzOutcome)> = None;
+    const CHUNK: u64 = 32;
+    let mut base = start;
+    while base < start + seeds && first_violation.is_none() {
+        let n = CHUNK.min(start + seeds - base);
+        let jobs: Vec<_> = (base..base + n)
+            .map(|seed| {
+                move || {
+                    let spec = FuzzSpec::generate(seed);
+                    let out = run_spec(&spec);
+                    (spec, out)
+                }
+            })
+            .collect();
+        for (spec, out) in run_parallel(jobs) {
+            ran += 1;
+            events += out.events;
+            incomplete += u64::from(!out.completed);
+            if out.violation.is_some() && first_violation.is_none() {
+                first_violation = Some((spec, out));
+            }
+        }
+        base += n;
+    }
+
+    match first_violation {
+        None => {
+            drop(std::panic::take_hook());
+            std::panic::set_hook(prev_hook);
+            println!(
+                "fuzz_sim: {ran} seeds clean ({events} events total, \
+                 {incomplete} runs hit the stop time with flows pending)"
+            );
+        }
+        Some((spec, out)) => {
+            let small = shrink(spec);
+            drop(std::panic::take_hook());
+            std::panic::set_hook(prev_hook);
+            let small_out = run_spec(&small);
+            println!("fuzz_sim: VIOLATION at seed {}", spec.seed);
+            println!("  {}", out.violation.unwrap_or_default());
+            println!("  original spec: {spec}");
+            println!("  shrunk   spec: {small}");
+            println!(
+                "  replay: cargo run --release -p mlcc-bench --features audit \
+                 --bin fuzz_sim -- --replay \"{small}\""
+            );
+            if let Some(v) = small_out.violation {
+                println!("  shrunk violation: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn report_one(spec: &FuzzSpec, out: &FuzzOutcome) {
+    println!("spec: {spec}");
+    match &out.violation {
+        Some(v) => println!("VIOLATION: {v}"),
+        None => println!(
+            "clean: {}/{} flows finished, {} events, {} pfc pauses, {} buffer drops",
+            out.fcts, out.flows, out.events, out.pfc_pauses, out.buffer_drops
+        ),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("fuzz_sim: {err}");
+    eprintln!("usage: fuzz_sim [--seeds N] [--start S] [--smoke] [--replay <spec>]");
+    std::process::exit(2);
+}

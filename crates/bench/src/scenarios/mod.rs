@@ -2,6 +2,7 @@
 
 pub mod convergence;
 pub mod faults;
+pub mod fuzz;
 pub mod large_scale;
 pub mod motivation;
 pub mod testbed;

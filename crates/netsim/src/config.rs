@@ -1,5 +1,8 @@
-//! Run-level configuration with the paper's defaults.
+//! Run-level configuration with the paper's defaults, plus validation
+//! of the (config, network) pair against degenerate inputs.
 
+use crate::topology::Network;
+use crate::types::LinkId;
 use crate::units::{Bandwidth, Time, GBPS, MS, US};
 
 /// DCI-switch feature switches: the MLCC data-plane mechanisms. Baseline
@@ -80,9 +83,185 @@ impl SimConfig {
     }
 }
 
+/// A degenerate (config, network) pair the simulator refuses to run.
+///
+/// Each variant names the first offending input; [`validate`] returns
+/// the first problem found in a fixed check order so messages are
+/// deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `mtu_payload == 0`: no data packet could ever carry a byte.
+    ZeroMtu,
+    /// The network has no nodes at all.
+    EmptyTopology,
+    /// The network has nodes but no hosts, so no flow can be placed.
+    NoHosts,
+    /// A link with zero bandwidth would serialize forever.
+    ZeroRateLink { link: LinkId },
+    /// An enabled ECN profile with `Kmin > Kmax` has no valid marking
+    /// region.
+    InvertedEcnThresholds {
+        link: LinkId,
+        kmin_bytes: u64,
+        kmax_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroMtu => write!(f, "mtu_payload must be nonzero"),
+            ConfigError::EmptyTopology => write!(f, "topology has no nodes"),
+            ConfigError::NoHosts => write!(f, "topology has no hosts"),
+            ConfigError::ZeroRateLink { link } => {
+                write!(f, "link {:?} has zero bandwidth", link)
+            }
+            ConfigError::InvertedEcnThresholds {
+                link,
+                kmin_bytes,
+                kmax_bytes,
+            } => write!(
+                f,
+                "link {:?} has inverted ECN thresholds (Kmin {} > Kmax {})",
+                link, kmin_bytes, kmax_bytes
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Reject degenerate inputs before the simulator touches them. Run by
+/// [`crate::sim::Simulator::try_new`]; `Simulator::new` panics with the
+/// same message.
+pub fn validate(cfg: &SimConfig, net: &Network) -> Result<(), ConfigError> {
+    if cfg.mtu_payload == 0 {
+        return Err(ConfigError::ZeroMtu);
+    }
+    if net.nodes.is_empty() {
+        return Err(ConfigError::EmptyTopology);
+    }
+    if net.hosts.is_empty() {
+        return Err(ConfigError::NoHosts);
+    }
+    for lk in &net.links {
+        if lk.bandwidth == 0 {
+            return Err(ConfigError::ZeroRateLink { link: lk.id });
+        }
+        if lk.ecn.enabled && lk.ecn.kmin_bytes > lk.ecn.kmax_bytes {
+            return Err(ConfigError::InvertedEcnThresholds {
+                link: lk.id,
+                kmin_bytes: lk.ecn.kmin_bytes,
+                kmax_bytes: lk.ecn.kmax_bytes,
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cc::NoCcFactory;
+    use crate::ecn::EcnConfig;
+    use crate::link::LinkOpts;
+    use crate::pfc::PfcConfig;
+    use crate::sim::Simulator;
+    use crate::switch::SwitchKind;
+    use crate::topology::NetBuilder;
+    use crate::units::US;
+
+    /// Minimal valid h0 — s — h1 line, with hooks to break it.
+    fn line(bandwidth: Bandwidth, ecn: Option<EcnConfig>) -> Network {
+        let mut b = NetBuilder::new(1000);
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let s = b.add_switch(SwitchKind::Leaf, 1 << 20, PfcConfig::dc_switch());
+        let opts = LinkOpts {
+            ecn,
+            ..LinkOpts::default()
+        };
+        b.connect(h0, s, bandwidth, US, opts);
+        b.connect(s, h1, bandwidth, US, opts);
+        b.build()
+    }
+
+    #[test]
+    fn valid_pair_passes() {
+        assert_eq!(validate(&SimConfig::default(), &line(GBPS, None)), Ok(()));
+    }
+
+    #[test]
+    fn zero_mtu_rejected() {
+        let cfg = SimConfig {
+            mtu_payload: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(validate(&cfg, &line(GBPS, None)), Err(ConfigError::ZeroMtu));
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        let net = NetBuilder::new(1000).build();
+        assert_eq!(
+            validate(&SimConfig::default(), &net),
+            Err(ConfigError::EmptyTopology)
+        );
+    }
+
+    #[test]
+    fn hostless_topology_rejected() {
+        let mut b = NetBuilder::new(1000);
+        let s0 = b.add_switch(SwitchKind::Leaf, 1 << 20, PfcConfig::dc_switch());
+        let s1 = b.add_switch(SwitchKind::Leaf, 1 << 20, PfcConfig::dc_switch());
+        b.connect(s0, s1, GBPS, US, LinkOpts::default());
+        assert_eq!(
+            validate(&SimConfig::default(), &b.build()),
+            Err(ConfigError::NoHosts)
+        );
+    }
+
+    #[test]
+    fn zero_rate_link_rejected() {
+        assert_eq!(
+            validate(&SimConfig::default(), &line(0, None)),
+            Err(ConfigError::ZeroRateLink { link: LinkId(0) })
+        );
+    }
+
+    #[test]
+    fn inverted_ecn_thresholds_rejected() {
+        let bad = EcnConfig {
+            kmin_bytes: 400_000,
+            kmax_bytes: 100_000,
+            pmax: 0.2,
+            enabled: true,
+        };
+        assert_eq!(
+            validate(&SimConfig::default(), &line(GBPS, Some(bad))),
+            Err(ConfigError::InvertedEcnThresholds {
+                link: LinkId(0),
+                kmin_bytes: 400_000,
+                kmax_bytes: 100_000,
+            })
+        );
+    }
+
+    #[test]
+    fn try_new_surfaces_the_error_and_new_panics() {
+        let cfg = SimConfig {
+            mtu_payload: 0,
+            ..SimConfig::default()
+        };
+        let err = Simulator::try_new(line(GBPS, None), cfg, Box::new(NoCcFactory))
+            .err()
+            .expect("degenerate config must be rejected");
+        assert_eq!(err, ConfigError::ZeroMtu);
+        let panicked = std::panic::catch_unwind(|| {
+            Simulator::new(line(GBPS, None), cfg, Box::new(NoCcFactory))
+        });
+        assert!(panicked.is_err());
+    }
 
     #[test]
     fn defaults_match_paper() {

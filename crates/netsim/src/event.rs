@@ -318,6 +318,24 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Visit every pending event (wheel slots, the staged ready heap,
+    /// and the overflow heap) in no particular order. The auditor's
+    /// drain-time census uses this to find in-flight `Arrival` packets.
+    #[cfg(feature = "audit")]
+    pub fn for_each_pending(&self, mut f: impl FnMut(Time, &Event)) {
+        for slot in &self.slots {
+            for s in slot {
+                f(s.at, &s.event);
+            }
+        }
+        for s in &self.ready {
+            f(s.at, &s.event);
+        }
+        for s in &self.overflow {
+            f(s.at, &s.event);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -561,6 +579,117 @@ mod proptests {
         match ev {
             Event::FlowStart(f) => f.0,
             _ => unreachable!("oracle test only schedules FlowStart"),
+        }
+    }
+
+    /// The wheel horizon in picoseconds: ticks differing from the cursor
+    /// above this bound live in the overflow heap.
+    const HORIZON: u64 = 1 << (BASE_SHIFT + WHEEL_BITS);
+
+    /// Satellite: the 2^52 ps overflow boundary, deterministically.
+    /// Events straddling the horizon — just inside the wheel, exactly at
+    /// the boundary block, and beyond — plus same-tick bursts at each
+    /// position must pop in exact (time, insertion-seq) order.
+    #[test]
+    fn overflow_boundary_exact_order() {
+        let mut q = EventQueue::new();
+        let mut oracle = HeapOracle::new();
+        let mut id = 0u32;
+        // Around the boundary: the last tick inside the wheel, the first
+        // tick of the next block (overflow), deep overflow, and a
+        // sub-tick pair on each side of the exact horizon time.
+        let times = [
+            HORIZON - (1 << BASE_SHIFT), // last wheel tick
+            HORIZON - 1,                 // same tick, later instant
+            HORIZON,                     // first overflow tick
+            HORIZON + 1,                 // same overflow tick
+            HORIZON + (1 << BASE_SHIFT), // next overflow tick
+            3 * HORIZON + 17,            // a block the cursor must jump to
+            5,                           // near present, scheduled last
+        ];
+        for &at in &times {
+            // Same-tick burst: three events at the identical instant must
+            // preserve insertion order across the wheel/overflow split.
+            for _ in 0..3 {
+                q.schedule(at, Event::FlowStart(FlowId(id)));
+                oracle.schedule(at, Event::FlowStart(FlowId(id)));
+                id += 1;
+            }
+        }
+        let mut last: Option<(Time, u32)> = None;
+        while let Some((t, ev)) = q.pop() {
+            let (to, evo) = oracle.pop().expect("oracle in lockstep");
+            assert_eq!((t, id_of(&ev)), (to, id_of(&evo)));
+            if let Some((lt, lid)) = last {
+                assert!(t > lt || (t == lt && id_of(&ev) > lid));
+            }
+            last = Some((t, id_of(&ev)));
+        }
+        assert!(oracle.pop().is_none());
+        assert_eq!(q.scheduled_total(), 21);
+    }
+
+    /// Satellite: seeded-loop property test hammering the overflow
+    /// boundary from a *moving* cursor. Times are clustered within a few
+    /// ticks of `now + 2^52` (so each schedule lands randomly on either
+    /// side of the wheel horizon as the cursor advances), mixed with
+    /// same-tick bursts and near-present events; the pop sequence must
+    /// match the binary-heap oracle exactly.
+    #[test]
+    fn overflow_boundary_total_order_under_churn() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x0B0B_B0A2D);
+        for round in 0..32 {
+            let mut wheel = EventQueue::new();
+            let mut oracle = HeapOracle::new();
+            let mut now: Time = 0;
+            let mut next_id = 0u32;
+            let mut pending = 0i64;
+            for _ in 0..1_500 {
+                if pending > 0 && rng.gen_range(0..100) < 40 {
+                    let a = wheel.pop().expect("wheel has pending events");
+                    let b = oracle.pop().expect("oracle has pending events");
+                    assert_eq!(
+                        (a.0, id_of(&a.1)),
+                        (b.0, id_of(&b.1)),
+                        "round {round}: diverged at the overflow boundary"
+                    );
+                    now = a.0;
+                    pending -= 1;
+                } else {
+                    // ±2 ticks around the horizon measured from `now`,
+                    // sub-tick offsets included, so events land just
+                    // inside the wheel, exactly at, or just past it.
+                    let tick_jitter = rng.gen_range(0..5) as i64 - 2;
+                    let sub = rng.gen_range(0..1 << BASE_SHIFT);
+                    let base = now + HORIZON;
+                    let at = if rng.gen_range(0..8) == 0 {
+                        now + rng.gen_range(0..1 << 20) // near present
+                    } else {
+                        base.wrapping_add_signed(tick_jitter * (1 << BASE_SHIFT)) + sub
+                    };
+                    let burst = 1 + rng.gen_range(0..3);
+                    for _ in 0..burst {
+                        wheel.schedule(at, Event::FlowStart(FlowId(next_id)));
+                        oracle.schedule(at, Event::FlowStart(FlowId(next_id)));
+                        next_id += 1;
+                        pending += 1;
+                    }
+                }
+            }
+            loop {
+                match (wheel.pop(), oracle.pop()) {
+                    (None, None) => break,
+                    (Some(a), Some(b)) => {
+                        assert_eq!((a.0, id_of(&a.1)), (b.0, id_of(&b.1)));
+                    }
+                    (a, b) => panic!(
+                        "round {round}: one queue drained early \
+                         (wheel={:?} oracle={:?})",
+                        a.map(|x| x.0),
+                        b.map(|x| x.0)
+                    ),
+                }
+            }
         }
     }
 }

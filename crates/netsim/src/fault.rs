@@ -278,6 +278,20 @@ impl FaultState {
         self.last_arrival = at;
         at
     }
+
+    /// Fault-bookkeeping invariants (drain-time audit): the profile is
+    /// still well-formed and the drop counters are internally coherent
+    /// (flap drops are a subset of all drops).
+    #[cfg(feature = "audit")]
+    pub fn audit_check(&self) {
+        self.profile.validate();
+        assert!(
+            self.flap_drops <= self.drops,
+            "AUDIT VIOLATION: link flap drops {} exceed total fault drops {}",
+            self.flap_drops,
+            self.drops
+        );
+    }
 }
 
 #[cfg(test)]

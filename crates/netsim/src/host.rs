@@ -493,6 +493,54 @@ impl Host {
     pub fn total_retransmits(&self) -> u64 {
         self.send.values().map(|f| f.retransmits).sum()
     }
+
+    /// Per-flow transfer-state invariants (drain-time audit). Note that
+    /// `bytes_acked > bytes_sent` is *transiently* legal — an RTO rewind
+    /// pulls `bytes_sent` back while a fully-acking ACK is in flight —
+    /// so only size bounds and completion exactness are asserted.
+    #[cfg(feature = "audit")]
+    pub fn audit_check(&self) {
+        for f in self.send.values() {
+            let size = f.spec.size_bytes;
+            assert!(
+                f.bytes_sent <= size && f.bytes_acked <= size,
+                "AUDIT VIOLATION: host {:?} flow {:?} sent {} / acked {} \
+                 beyond flow size {}",
+                self.id,
+                f.spec.id,
+                f.bytes_sent,
+                f.bytes_acked,
+                size
+            );
+            assert!(
+                !f.done || f.bytes_acked == size,
+                "AUDIT VIOLATION: host {:?} flow {:?} done with only {}/{} acked",
+                self.id,
+                f.spec.id,
+                f.bytes_acked,
+                size
+            );
+        }
+        for rf in self.recv.values() {
+            let size = rf.spec.size_bytes;
+            assert!(
+                rf.expected <= size,
+                "AUDIT VIOLATION: host {:?} flow {:?} received {} beyond size {}",
+                self.id,
+                rf.spec.id,
+                rf.expected,
+                size
+            );
+            assert!(
+                !rf.complete || rf.expected == size,
+                "AUDIT VIOLATION: host {:?} flow {:?} complete with only {}/{}",
+                self.id,
+                rf.spec.id,
+                rf.expected,
+                size
+            );
+        }
+    }
 }
 
 #[cfg(test)]

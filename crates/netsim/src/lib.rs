@@ -37,6 +37,8 @@
 //! ```
 
 pub mod alloc;
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod buffer;
 pub mod cc;
 pub mod config;

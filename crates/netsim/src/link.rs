@@ -88,6 +88,16 @@ impl Link {
         self.queues.bytes(crate::types::Priority::Data)
             + self.pfq.as_ref().map_or(0, |p| p.total_bytes())
     }
+
+    /// Visit every packet parked at this egress — priority FIFOs and,
+    /// when present, the per-flow queue set (the auditor's census).
+    #[cfg(feature = "audit")]
+    pub fn audit_for_each_queued(&self, mut f: impl FnMut(&crate::packet::Packet)) {
+        self.queues.for_each_packet(&mut f);
+        if let Some(pfq) = &self.pfq {
+            pfq.for_each_packet(&mut f);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,36 @@ impl PfqState {
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Credit-conservation invariants, checked after every enqueue and
+    /// dequeue when the auditor is compiled in: the token bucket never
+    /// goes negative, never exceeds the burst cap, and the lifetime
+    /// byte counters balance against the queued backlog.
+    #[cfg(feature = "audit")]
+    fn audit_invariants(&self, burst_cap: f64) {
+        assert!(
+            self.tokens >= 0.0,
+            "AUDIT VIOLATION: PFQ credit went negative ({} tokens)",
+            self.tokens
+        );
+        assert!(
+            self.tokens <= burst_cap,
+            "AUDIT VIOLATION: PFQ credit {} exceeds burst cap {}",
+            self.tokens,
+            burst_cap
+        );
+        assert!(
+            self.dequeued_bytes <= self.enqueued_bytes,
+            "AUDIT VIOLATION: PFQ dequeued {} bytes > enqueued {}",
+            self.dequeued_bytes,
+            self.enqueued_bytes
+        );
+        assert_eq!(
+            self.enqueued_bytes - self.dequeued_bytes,
+            self.bytes,
+            "AUDIT VIOLATION: PFQ byte ledger out of balance"
+        );
+    }
 }
 
 /// Outcome of a dequeue attempt.
@@ -156,6 +186,8 @@ impl PfqSet {
     /// rate).
     pub fn enqueue(&mut self, pkt: Box<Packet>, now: Time) -> bool {
         let init = self.init_rate;
+        #[cfg(feature = "audit")]
+        let burst = self.burst_bytes;
         let size = pkt.size as u64;
         let flow = pkt.flow;
         let slot = self.slot(flow);
@@ -166,6 +198,8 @@ impl PfqSet {
         st.bytes += size;
         st.enqueued_bytes += size;
         st.peak_bytes = st.peak_bytes.max(st.bytes);
+        #[cfg(feature = "audit")]
+        st.audit_invariants(burst);
         self.total_bytes += size;
         self.peak_total_bytes = self.peak_total_bytes.max(self.total_bytes);
         if was_empty {
@@ -221,6 +255,8 @@ impl PfqSet {
                     st.bytes -= size;
                     st.dequeued_bytes += size;
                     st.tokens -= size as f64;
+                    #[cfg(feature = "audit")]
+                    st.audit_invariants(burst);
                     self.total_bytes -= size;
                     self.active.pop_front();
                     if !st.queue.is_empty() {
@@ -265,6 +301,37 @@ impl PfqSet {
                 .filter(|st| st.bytes > 0)
                 .map(move |st| (FlowId(i as u32), st.bytes))
         })
+    }
+
+    /// Full-set audit: per-flow credit invariants, queue contents vs
+    /// byte counters, and total-byte conservation across the set.
+    /// O(queued packets) — called at drain time, not per event.
+    #[cfg(feature = "audit")]
+    pub fn audit_check(&self) {
+        let mut total = 0u64;
+        for st in self.flows.iter().flatten() {
+            st.audit_invariants(self.burst_bytes);
+            let queued: u64 = st.queue.iter().map(|p| p.size as u64).sum();
+            assert_eq!(
+                queued, st.bytes,
+                "AUDIT VIOLATION: PFQ queue contents disagree with byte counter"
+            );
+            total += st.bytes;
+        }
+        assert_eq!(
+            total, self.total_bytes,
+            "AUDIT VIOLATION: PFQ total_bytes disagrees with per-flow sum"
+        );
+    }
+
+    /// Visit every queued packet (the auditor's drain-time census).
+    #[cfg(feature = "audit")]
+    pub fn for_each_packet(&self, mut f: impl FnMut(&Packet)) {
+        for st in self.flows.iter().flatten() {
+            for pkt in &st.queue {
+                f(pkt);
+            }
+        }
     }
 }
 

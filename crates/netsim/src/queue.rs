@@ -81,6 +81,17 @@ impl PrioQueues {
     pub fn is_empty(&self) -> bool {
         self.queues.iter().all(|q| q.is_empty())
     }
+
+    /// Visit every queued packet, highest priority class first, FIFO
+    /// within a class (the auditor's drain-time census).
+    #[cfg(feature = "audit")]
+    pub fn for_each_packet(&self, mut f: impl FnMut(&Packet)) {
+        for q in &self.queues {
+            for pkt in q {
+                f(pkt);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

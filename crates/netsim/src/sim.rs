@@ -3,7 +3,7 @@
 //! queueing with credit-controlled dequeue).
 
 use crate::cc::{CcEnv, CcFactory};
-use crate::config::SimConfig;
+use crate::config::{ConfigError, SimConfig};
 use crate::event::{Event, EventQueue};
 use crate::fault::{FaultProfile, FaultState};
 use crate::flow::{FctRecord, FlowPath, FlowSpec};
@@ -82,14 +82,38 @@ pub struct Simulator {
     pub out: SimOutput,
     /// Optional flight recorder (see [`crate::trace`]). Off by default.
     pub trace: Option<Trace>,
+    /// Fabric invariant auditor (see [`crate::audit`]). Observation-only:
+    /// it draws no randomness and schedules nothing, so seeded runs stay
+    /// bit-identical with the feature on or off.
+    #[cfg(feature = "audit")]
+    pub audit: crate::audit::Auditor,
 }
 
 // The link type is defined in `link.rs`; alias locally for brevity.
 use crate::link::Link as Link2;
 
 impl Simulator {
-    /// Create a simulator over a built network.
+    /// Create a simulator over a built network, panicking on degenerate
+    /// inputs (see [`crate::config::validate`]). Use [`Self::try_new`]
+    /// to handle the error instead.
     pub fn new(net: Network, cfg: SimConfig, factory: Box<dyn CcFactory>) -> Self {
+        match Self::try_new(net, cfg, factory) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid simulation config: {e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects zero-byte MTUs, empty or host-less
+    /// topologies, zero-rate links, and inverted ECN thresholds with a
+    /// typed [`ConfigError`] instead of running a nonsensical fabric.
+    pub fn try_new(
+        net: Network,
+        cfg: SimConfig,
+        factory: Box<dyn CcFactory>,
+    ) -> Result<Self, ConfigError> {
+        crate::config::validate(&cfg, &net)?;
+        #[cfg(feature = "audit")]
+        let n_links = net.links.len();
         let mut sim = Simulator {
             now: 0,
             rng: Xoshiro256StarStar::seed_from_u64(cfg.seed),
@@ -105,11 +129,13 @@ impl Simulator {
             pkt_pool: PktPool::default(),
             out: SimOutput::default(),
             trace: None,
+            #[cfg(feature = "audit")]
+            audit: crate::audit::Auditor::new(n_links),
         };
         if sim.cfg.monitor_interval > 0 {
             sim.events.schedule(0, Event::MonitorTick);
         }
-        sim
+        Ok(sim)
     }
 
     /// What the monitor samples (set before running).
@@ -132,6 +158,8 @@ impl Simulator {
     pub fn prewarm(&mut self, n_packets: usize, n_stacks: usize, events_per_slot: usize) {
         self.pkt_pool.prewarm(n_packets, n_stacks);
         self.events.prewarm(events_per_slot);
+        #[cfg(feature = "audit")]
+        self.audit.prewarm(events_per_slot);
         for lk in &mut self.links {
             if let Some(pfq) = &mut lk.pfq {
                 pfq.reserve_queues(n_packets);
@@ -169,6 +197,10 @@ impl Simulator {
 
     /// Register a flow; it starts at `start`.
     pub fn add_flow(&mut self, src: NodeId, dst: NodeId, size_bytes: u64, start: Time) -> FlowId {
+        assert!(
+            src != dst,
+            "flow {src} → {dst}: source and destination are the same host"
+        );
         let id = FlowId(self.flows.len() as u32);
         let spec = FlowSpec {
             id,
@@ -275,6 +307,8 @@ impl Simulator {
     }
 
     fn finalize(&mut self) {
+        #[cfg(feature = "audit")]
+        self.audit_drain_check();
         self.out.finished_at = self.now;
         self.out.events_scheduled = self.events.scheduled_total();
         self.out.peak_queue_depth = self.events.peak_len() as u64;
@@ -306,6 +340,8 @@ impl Simulator {
             return;
         };
         debug_assert!(t >= self.now, "time went backwards");
+        #[cfg(feature = "audit")]
+        self.audit_on_event(t);
         self.now = t;
         self.out.events_processed += 1;
         match ev {
@@ -416,6 +452,8 @@ impl Simulator {
     }
 
     fn handle_arrival(&mut self, link: LinkId, packet: Box<Packet>) {
+        #[cfg(feature = "audit")]
+        self.audit.on_arrival(link, &packet, self.now);
         let dst = self.links[link.index()].dst;
         if self.nodes[dst.index()].is_host() {
             self.host_arrival(dst, packet);
@@ -436,13 +474,19 @@ impl Simulator {
         };
         // The arrival box dies at its sink; recycle it first so the ACK
         // it usually provokes is boxed into the very same allocation.
+        #[cfg(feature = "audit")]
+        self.audit.on_delivered(&pkt);
         self.pkt_pool.put(pkt);
         if let Some(ack) = out.ack {
             let b = self.pkt_pool.boxed(ack);
+            #[cfg(feature = "audit")]
+            self.audit.on_born(&b);
             self.links[uplink.index()].queues.enqueue(b);
         }
         if let Some(cnp) = out.cnp {
             let b = self.pkt_pool.boxed(cnp);
+            #[cfg(feature = "audit")]
+            self.audit.on_born(&b);
             self.links[uplink.index()].queues.enqueue(b);
         }
         if let Some((f, at)) = out.timer {
@@ -478,6 +522,8 @@ impl Simulator {
                 self.pkt_pool.put_int(s);
             }
             let Some(egress) = self.routes.pick(node, pkt.dst, pkt.flow) else {
+                #[cfg(feature = "audit")]
+                self.audit_no_route(&pkt, node);
                 debug_assert!(false, "no route at DCI");
                 self.pkt_pool.put(pkt);
                 return;
@@ -486,6 +532,8 @@ impl Simulator {
             {
                 let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
                 if !sw.buffer.admit(size, true) {
+                    #[cfg(feature = "audit")]
+                    self.audit_on_buffer_drop(node, &pkt);
                     self.record(TraceEvent::PacketDropped {
                         flow: pkt.flow,
                         at: node,
@@ -563,6 +611,8 @@ impl Simulator {
     fn forward_from(&mut self, node: NodeId, in_link: Option<LinkId>, mut pkt: Box<Packet>) {
         let now = self.now;
         let Some(egress) = self.routes.pick(node, pkt.dst, pkt.flow) else {
+            #[cfg(feature = "audit")]
+            self.audit_no_route(&pkt, node);
             debug_assert!(false, "no route {} → {}", node, pkt.dst);
             self.pkt_pool.put(pkt);
             return;
@@ -572,6 +622,8 @@ impl Simulator {
         {
             let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
             if !sw.buffer.admit(size, droppable) {
+                #[cfg(feature = "audit")]
+                self.audit_on_buffer_drop(node, &pkt);
                 self.record(TraceEvent::PacketDropped {
                     flow: pkt.flow,
                     at: node,
@@ -605,6 +657,9 @@ impl Simulator {
                         .get_or_default(il)
                         .on_enqueue(size, &pfc, cap, used, now)
                 };
+                // Chaos shim (identity unless a fuzz test armed it).
+                #[cfg(feature = "audit")]
+                let act = self.audit.chaos_pfc_action(act);
                 if act == PfcAction::Pause {
                     self.out.pfc_events.push((now, node));
                     self.record(TraceEvent::PfcPause {
@@ -658,7 +713,11 @@ impl Simulator {
             let src = self.links[l.index()].src;
             if let Node::Host(h) = &mut self.nodes[src.index()] {
                 match h.next_data_packet(now, &mut self.pkt_pool) {
-                    HostTx::Packet(p) => pkt = Some(p),
+                    HostTx::Packet(p) => {
+                        #[cfg(feature = "audit")]
+                        self.audit.on_born(&p);
+                        pkt = Some(p);
+                    }
                     HostTx::WakeAt(t) => {
                         let need = h.wake_at.is_none_or(|w| w <= now || w > t);
                         if need {
@@ -796,6 +855,8 @@ impl Simulator {
             Some(at) => {
                 // The packet keeps living in the same box it was born
                 // in: scheduling the arrival moves one pointer.
+                #[cfg(feature = "audit")]
+                self.audit.on_wire(l, &pkt);
                 self.events.schedule(
                     at,
                     Event::Arrival {
@@ -805,6 +866,8 @@ impl Simulator {
                 );
             }
             None => {
+                #[cfg(feature = "audit")]
+                self.audit.on_fault_drop(&pkt);
                 self.record(TraceEvent::PacketLost {
                     flow: pkt.flow,
                     link: l,
@@ -815,6 +878,8 @@ impl Simulator {
 
         if let Some(fb) = feedback {
             let b = self.pkt_pool.boxed(fb);
+            #[cfg(feature = "audit")]
+            self.audit.on_born(&b);
             self.forward_from(src, None, b);
         }
     }
@@ -986,6 +1051,21 @@ mod tests {
         assert!(fct < ideal + 20 * US, "fct {fct} ≫ ideal {ideal}");
         assert_eq!(sim.out.total_dropped(), 0);
         assert_eq!(sim.out.retransmits, 0);
+    }
+
+    #[test]
+    fn self_flow_is_rejected_loudly() {
+        // A src == dst flow has no path; it must die at add_flow with a
+        // message naming the host, not as an index panic deep in
+        // route resolution (found by fuzz_sim seed 9).
+        let net = line_net();
+        let mut sim = Simulator::new(net, SimConfig::default(), Box::new(NoCcFactory));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.add_flow(NodeId(0), NodeId(0), 1000, 0);
+        }))
+        .expect_err("src == dst must be rejected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("source and destination"), "got: {msg}");
     }
 
     #[test]

@@ -104,6 +104,24 @@ impl Switch {
     pub fn is_long_haul_ingress(&self, ingress: LinkId) -> bool {
         self.dci.as_ref().is_some_and(|d| d.long_haul_in == ingress)
     }
+
+    /// Shared-buffer accounting audit: the buffer's `used` counter must
+    /// equal the bytes actually parked at this switch's egresses (the
+    /// caller sums its egress links' queued bytes). Admit and release
+    /// are symmetric, so any divergence means a leaked or double-counted
+    /// admission.
+    #[cfg(feature = "audit")]
+    pub fn audit_check_buffer(&self, egress_queued_bytes: u64) {
+        assert_eq!(
+            self.buffer.used(),
+            egress_queued_bytes,
+            "AUDIT VIOLATION: switch {:?} buffer accounting out of sync \
+             (used {} vs {} bytes queued at egresses)",
+            self.id,
+            self.buffer.used(),
+            egress_queued_bytes
+        );
+    }
 }
 
 #[cfg(test)]

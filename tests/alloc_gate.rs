@@ -124,4 +124,27 @@ fn steady_state_event_loop_is_allocation_free() {
          path regressed (rerun with ALLOC_GATE_TRAP=1 RUST_BACKTRACE=1 \
          to see the first allocation site)"
     );
+
+    // After 12M events every pool box has been through many in-flight
+    // lifetimes (ECN marks, INT stacks, MLCC stamps, PFC ingress tags).
+    // A box recycled now must still be indistinguishable from fresh —
+    // recycling clears state, it doesn't launder it.
+    use netsim::packet::{MlccFields, Packet};
+    use netsim::types::{FlowId, NodeId};
+    // Probe with a data packet — a CNP is born with ecn_echo set.
+    let id = sim.pkt_pool.next_id();
+    let q = sim.pkt_pool.boxed(Packet::data(
+        id,
+        FlowId(0),
+        NodeId(0),
+        NodeId(1),
+        0,
+        4096,
+        0,
+    ));
+    assert!(q.int.is_none(), "recycled box kept a stale INT stack");
+    assert_eq!(q.mlcc, MlccFields::default(), "stale MLCC fields survived");
+    assert!(!q.ecn && !q.ecn_echo, "stale ECN state survived");
+    assert!(q.in_link.is_none(), "stale ingress-link state survived");
+    sim.pkt_pool.put(q);
 }
