@@ -10,6 +10,9 @@
 //! * `large_scale_xl` — the same mix and load at 4x the hosts (the XL
 //!   scale-up study): stresses pools, dense tables, and the event queue
 //!   at a host count `heavy` never reaches.
+//! * `large_scale_xl_mc2` — the XL scenario on the sharded multi-core
+//!   engine (one shard per DC, 2 threads): same fabric, same workload,
+//!   bit-identical merged output, wall clock bounded by the busier DC.
 //! * `fault_smoke_mlcc` / `fault_smoke_dcqcn` — the `fault_sweep --smoke`
 //!   dumbbell topology at 1% long-haul loss.
 //!
@@ -34,7 +37,7 @@
 use std::time::Instant;
 
 use mlcc_bench::scenarios::faults::{run_cell, FaultCell};
-use mlcc_bench::scenarios::large_scale::{run as large_scale_run, LargeScaleConfig};
+use mlcc_bench::scenarios::large_scale::{run as large_scale_run, run_mc, LargeScaleConfig};
 use mlcc_bench::Algo;
 use netsim::alloc::CountingAlloc;
 use simstats::json::Value;
@@ -100,6 +103,23 @@ fn run_large_scale(name: &'static str, cfg: LargeScaleConfig) -> Timing {
     }
 }
 
+fn run_large_scale_mc(name: &'static str, cfg: LargeScaleConfig, shards: u32) -> Timing {
+    CountingAlloc::reset_peak();
+    let t0 = Instant::now();
+    let r = run_mc(Algo::Mlcc, cfg, shards);
+    let wall = t0.elapsed().as_secs_f64();
+    Timing {
+        name,
+        events: r.events,
+        events_scheduled: r.events_scheduled,
+        peak_queue_depth: r.peak_queue_depth,
+        flows_completed: r.flows_completed,
+        flows_total: r.flows_total,
+        best_wall_secs: wall,
+        peak_mem_bytes: CountingAlloc::peak_bytes(),
+    }
+}
+
 fn run_fault_smoke(name: &'static str, algo: Algo) -> Timing {
     CountingAlloc::reset_peak();
     let t0 = Instant::now();
@@ -125,6 +145,7 @@ const REQUIRED_MARKERS: &[&str] = &[
     "\"scenarios\":",
     "\"name\": \"large_scale\"",
     "\"name\": \"large_scale_xl\"",
+    "\"name\": \"large_scale_xl_mc2\"",
     "\"name\": \"fault_smoke_mlcc\"",
     "\"name\": \"fault_smoke_dcqcn\"",
     "\"events_per_sec\":",
@@ -200,6 +221,13 @@ fn main() {
         }),
         time_scenario("large_scale_xl", iters, || {
             run_large_scale("large_scale_xl", LargeScaleConfig::xl(TrafficMix::Hadoop))
+        }),
+        time_scenario("large_scale_xl_mc2", iters, || {
+            run_large_scale_mc(
+                "large_scale_xl_mc2",
+                LargeScaleConfig::xl(TrafficMix::Hadoop),
+                2,
+            )
         }),
         time_scenario("fault_smoke_mlcc", iters, || {
             run_fault_smoke("fault_smoke_mlcc", Algo::Mlcc)

@@ -159,7 +159,7 @@ mod tests {
         h.on_ack(&AckView {
             seq,
             ecn_echo: false,
-            rtt_sample: BASE,
+            rtt_sample: Some(BASE),
             int: &int,
             r_dqm_bps: None,
             now: hopinfo.ts,

@@ -154,7 +154,7 @@ mod tests {
         p.on_ack(&AckView {
             seq: 0,
             ecn_echo: false,
-            rtt_sample: BASE,
+            rtt_sample: Some(BASE),
             int: &int,
             r_dqm_bps: None,
             now: hopinfo.ts,

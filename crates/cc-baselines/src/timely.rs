@@ -123,9 +123,14 @@ impl SenderCc for Timely {
         let newly = ack.seq.saturating_sub(self.last_acked);
         self.last_acked = self.last_acked.max(ack.seq);
         self.bytes_since_update += newly;
+        // Inverted samples arrive as None and are skipped outright —
+        // a clamped zero would read as a perfect RTT and spike the rate.
+        let Some(rtt) = ack.rtt_sample else {
+            return;
+        };
         if self.bytes_since_update >= self.p.update_bytes || self.prev_rtt.is_none() {
             self.bytes_since_update = 0;
-            self.update(ack.rtt_sample);
+            self.update(rtt);
         }
     }
 
@@ -156,7 +161,7 @@ mod tests {
         t.on_ack(&AckView {
             seq,
             ecn_echo: false,
-            rtt_sample: rtt,
+            rtt_sample: Some(rtt),
             int: &int,
             r_dqm_bps: None,
             now: 0,

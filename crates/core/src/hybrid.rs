@@ -191,7 +191,7 @@ mod tests {
         g.on_ack(&AckView {
             seq: 1000,
             ecn_echo: false,
-            rtt_sample: 0,
+            rtt_sample: Some(0),
             int: &int,
             r_dqm_bps: r,
             now: 0,
@@ -203,7 +203,7 @@ mod tests {
         g.on_ack(&AckView {
             seq: 2000,
             ecn_echo: false,
-            rtt_sample: 0,
+            rtt_sample: Some(0),
             int: &int,
             r_dqm_bps: r,
             now: 0,
@@ -218,7 +218,7 @@ mod tests {
         g.on_ack(&AckView {
             seq: 1,
             ecn_echo: false,
-            rtt_sample: 0,
+            rtt_sample: Some(0),
             int: &int,
             r_dqm_bps: r,
             now: 0,

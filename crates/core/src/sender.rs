@@ -115,7 +115,7 @@ mod tests {
         AckView {
             seq,
             ecn_echo: false,
-            rtt_sample: 10 * US,
+            rtt_sample: Some(10 * US),
             int,
             r_dqm_bps: r_dqm,
             now,

@@ -86,6 +86,12 @@ pub struct Auditor {
     /// Deliberate invariant breaker for auditor self-tests.
     pub chaos: Option<Chaos>,
     chaos_fired: bool,
+    /// Shard-mode drain stash: `(ledger, in-flight pkts, in-flight
+    /// bytes)` per flow. Cross-shard flows inject in one shard and
+    /// deliver in another, so per-flow conservation only balances
+    /// globally — [`crate::shard::run_sharded`] sums these over shards
+    /// and asserts the total.
+    pub shard_census: Vec<(FlowLedger, u64, u64)>,
 }
 
 impl Auditor {
@@ -95,6 +101,7 @@ impl Auditor {
             wire: (0..n_links).map(|_| WireFifo::default()).collect(),
             chaos: None,
             chaos_fired: false,
+            shard_census: Vec::new(),
         }
     }
 
@@ -147,8 +154,19 @@ impl Auditor {
     }
 
     /// A packet arrived at the far end of `link`: it must be the oldest
-    /// one on the wire, at a non-regressing time.
+    /// one on the wire, at a non-regressing time that never precedes
+    /// the packet's own send timestamp (the receive side computes RTT
+    /// samples as `now - ts_sent`; an inverted pair would silently feed
+    /// garbage into every delay-based controller).
     pub(crate) fn on_arrival(&mut self, link: LinkId, pkt: &Packet, now: Time) {
+        assert!(
+            now >= pkt.ts_sent,
+            "AUDIT VIOLATION: packet {} arrived on link {:?} at {now}, \
+             before its own send timestamp {}",
+            pkt.id,
+            link,
+            pkt.ts_sent
+        );
         let w = &mut self.wire[link.index()];
         assert!(
             now >= w.last_arrival,
@@ -274,28 +292,45 @@ impl Simulator {
             });
         }
 
-        // Per-flow byte/packet conservation.
-        for (i, led) in self.audit.flows.iter().enumerate() {
-            let pkts =
-                led.delivered_pkts + led.buffer_drop_pkts + led.fault_drop_pkts + seen_pkts[i];
-            let bytes =
-                led.delivered_bytes + led.buffer_drop_bytes + led.fault_drop_bytes + seen_bytes[i];
-            assert!(
-                led.injected_pkts == pkts && led.injected_bytes == bytes,
-                "AUDIT VIOLATION: conservation broken for flow {i}: \
-                 injected {}p/{}B but delivered {}p/{}B + buffer-dropped \
-                 {}p/{}B + fault-dropped {}p/{}B + in-flight {}p/{}B",
-                led.injected_pkts,
-                led.injected_bytes,
-                led.delivered_pkts,
-                led.delivered_bytes,
-                led.buffer_drop_pkts,
-                led.buffer_drop_bytes,
-                led.fault_drop_pkts,
-                led.fault_drop_bytes,
-                seen_pkts[i],
-                seen_bytes[i]
-            );
+        // Per-flow byte/packet conservation. A shard only sees its side
+        // of cross-shard flows (bytes born here, delivered elsewhere),
+        // so in shard mode the ledgers are stashed for the global
+        // cross-shard reconciliation in `shard::run_sharded` instead of
+        // being asserted locally.
+        if self.shard.is_some() {
+            let census: Vec<_> = self
+                .audit
+                .flows
+                .iter()
+                .enumerate()
+                .map(|(i, led)| (*led, seen_pkts[i], seen_bytes[i]))
+                .collect();
+            self.audit.shard_census = census;
+        } else {
+            for (i, led) in self.audit.flows.iter().enumerate() {
+                let pkts =
+                    led.delivered_pkts + led.buffer_drop_pkts + led.fault_drop_pkts + seen_pkts[i];
+                let bytes = led.delivered_bytes
+                    + led.buffer_drop_bytes
+                    + led.fault_drop_bytes
+                    + seen_bytes[i];
+                assert!(
+                    led.injected_pkts == pkts && led.injected_bytes == bytes,
+                    "AUDIT VIOLATION: conservation broken for flow {i}: \
+                     injected {}p/{}B but delivered {}p/{}B + buffer-dropped \
+                     {}p/{}B + fault-dropped {}p/{}B + in-flight {}p/{}B",
+                    led.injected_pkts,
+                    led.injected_bytes,
+                    led.delivered_pkts,
+                    led.delivered_bytes,
+                    led.buffer_drop_pkts,
+                    led.buffer_drop_bytes,
+                    led.fault_drop_pkts,
+                    led.fault_drop_bytes,
+                    seen_pkts[i],
+                    seen_bytes[i]
+                );
+            }
         }
 
         // Pool census: outstanding boxes must all be findable.

@@ -28,8 +28,11 @@ pub struct AckView<'a> {
     pub seq: u64,
     /// ECN congestion-experienced echo.
     pub ecn_echo: bool,
-    /// RTT sample measured from the echoed send timestamp.
-    pub rtt_sample: Time,
+    /// RTT sample measured from the echoed send timestamp. `None` when
+    /// the echoed timestamp was time-inverted (delivery before send —
+    /// a fabric bug that trips a debug assertion first): estimators
+    /// must skip the sample rather than ingest a clamped zero.
+    pub rtt_sample: Option<Time>,
     /// INT stack echoed by the receiver (empty if the algorithm's receiver
     /// does not echo INT).
     pub int: &'a IntStack,

@@ -2,7 +2,7 @@
 //! of the (config, network) pair against degenerate inputs.
 
 use crate::topology::Network;
-use crate::types::LinkId;
+use crate::types::{LinkId, NodeId};
 use crate::units::{Bandwidth, Time, GBPS, MS, US};
 
 /// DCI-switch feature switches: the MLCC data-plane mechanisms. Baseline
@@ -51,10 +51,11 @@ pub struct SimConfig {
     /// budget).
     pub mtu_payload: u32,
     /// RNG seed. Everything stochastic keys off it through independent
-    /// substreams: the ECN sampler uses the seed directly, and each
-    /// fault-injected link derives its own substream from
-    /// `(seed, link id)` (see [`crate::fault`]), so enabling one source
-    /// of randomness never perturbs another.
+    /// substreams: each link's ECN sampler and each fault-injected
+    /// link's loss/jitter draws come from their own `(salted seed,
+    /// link id)` substreams (see [`crate::fault`]), so enabling one
+    /// source of randomness never perturbs another — and a link's draw
+    /// sequence depends only on its own traffic history.
     pub seed: u64,
     /// Hard stop time.
     pub stop_time: Time,
@@ -105,6 +106,18 @@ pub enum ConfigError {
         kmin_bytes: u64,
         kmax_bytes: u64,
     },
+    /// Two links share one id, so routing and per-link state would
+    /// silently alias.
+    DuplicateLinkId { link: LinkId },
+    /// A flow whose source and destination are the same host has no
+    /// path (first found by fuzz_sim seed 9 as an index panic).
+    SelfFlow { node: NodeId },
+    /// A zero-byte flow would complete without ever sending, wedging
+    /// completion accounting.
+    EmptyFlow { src: NodeId, dst: NodeId },
+    /// A flow endpoint that is a switch (or out of range) can neither
+    /// send nor receive.
+    NonHostFlowEndpoint { node: NodeId },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -125,6 +138,18 @@ impl std::fmt::Display for ConfigError {
                 "link {:?} has inverted ECN thresholds (Kmin {} > Kmax {})",
                 link, kmin_bytes, kmax_bytes
             ),
+            ConfigError::DuplicateLinkId { link } => {
+                write!(f, "link id {:?} is used by more than one link", link)
+            }
+            ConfigError::SelfFlow { node } => {
+                write!(f, "source and destination are the same host ({node})")
+            }
+            ConfigError::EmptyFlow { src, dst } => {
+                write!(f, "flow {src} → {dst} carries zero bytes")
+            }
+            ConfigError::NonHostFlowEndpoint { node } => {
+                write!(f, "flow endpoint {node} is not a host")
+            }
         }
     }
 }
@@ -144,7 +169,12 @@ pub fn validate(cfg: &SimConfig, net: &Network) -> Result<(), ConfigError> {
     if net.hosts.is_empty() {
         return Err(ConfigError::NoHosts);
     }
-    for lk in &net.links {
+    for (i, lk) in net.links.iter().enumerate() {
+        // Links live in an id-indexed slab; an id out of step with its
+        // position means two links alias one identity.
+        if lk.id.index() != i {
+            return Err(ConfigError::DuplicateLinkId { link: lk.id });
+        }
         if lk.bandwidth == 0 {
             return Err(ConfigError::ZeroRateLink { link: lk.id });
         }
@@ -226,6 +256,18 @@ mod tests {
         assert_eq!(
             validate(&SimConfig::default(), &line(0, None)),
             Err(ConfigError::ZeroRateLink { link: LinkId(0) })
+        );
+    }
+
+    #[test]
+    fn duplicate_link_id_rejected() {
+        // Two links claiming one id would silently alias per-link state
+        // (queues, wire FIFOs, fault draws) in the id-indexed slab.
+        let mut net = line(GBPS, None);
+        net.links[1].id = net.links[0].id;
+        assert_eq!(
+            validate(&SimConfig::default(), &net),
+            Err(ConfigError::DuplicateLinkId { link: LinkId(0) })
         );
     }
 

@@ -94,6 +94,24 @@ const LEVELS: usize = 6;
 /// above this bit live in the overflow heap until their block arrives.
 const WHEEL_BITS: u32 = SLOT_BITS * LEVELS as u32;
 
+/// Floor of the explicit tie-break keys used by
+/// [`EventQueue::schedule_with_seq`]. Ordinary insertion sequences count
+/// up from zero and can never plausibly reach 2^62, so content-derived
+/// keys above this base always sort after same-instant ordinary events
+/// and never collide with them.
+pub const BOUNDARY_SEQ_BASE: u64 = 1 << 62;
+
+/// The deterministic tie-break key for a boundary arrival: a function of
+/// the carrying link and that link's per-packet wire sequence, identical
+/// at every shard count. Link ids fit 20 bits with room to spare on any
+/// fabric we build; wire sequences get the low 40 bits (a trillion
+/// packets per link before wrap).
+#[inline]
+pub fn boundary_seq(link: LinkId, wire_seq: u64) -> u64 {
+    debug_assert!(wire_seq < (1 << 40), "per-link wire sequence overflow");
+    BOUNDARY_SEQ_BASE | ((link.0 as u64) << 40) | wire_seq
+}
+
 /// Deterministic event queue: hierarchical timing wheel + overflow heap.
 ///
 /// Invariants (with `tick = at >> BASE_SHIFT`):
@@ -121,6 +139,10 @@ pub struct EventQueue {
     overflow: BinaryHeap<Scheduled>,
     /// Also the count of events ever scheduled (seq values are dense).
     next_seq: u64,
+    /// Events scheduled with an explicit out-of-band sequence key (see
+    /// [`EventQueue::schedule_with_seq`]); counted separately so
+    /// [`EventQueue::scheduled_total`] stays exact.
+    extra_scheduled: u64,
     len: usize,
     peak_len: usize,
 }
@@ -157,6 +179,7 @@ impl EventQueue {
             ready_tick: None,
             overflow: BinaryHeap::new(),
             next_seq: 0,
+            extra_scheduled: 0,
             len: 0,
             peak_len: 0,
         }
@@ -181,6 +204,26 @@ impl EventQueue {
     pub fn schedule(&mut self, at: Time, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_scheduled(at, seq, event);
+    }
+
+    /// Schedule `event` at `at` with an explicit, content-derived tie-break
+    /// key instead of a fresh insertion sequence. Used for cross-shard
+    /// boundary arrivals, whose same-instant order must be a function of
+    /// the packet (link id + per-link wire sequence), not of which shard
+    /// happened to schedule first. Keys must be ≥ [`BOUNDARY_SEQ_BASE`] so
+    /// they never collide with (and always sort after) ordinary
+    /// insertion sequences at the same instant.
+    pub fn schedule_with_seq(&mut self, at: Time, seq: u64, event: Event) {
+        debug_assert!(
+            seq >= BOUNDARY_SEQ_BASE,
+            "explicit seq keys live above BOUNDARY_SEQ_BASE"
+        );
+        self.extra_scheduled += 1;
+        self.push_scheduled(at, seq, event);
+    }
+
+    fn push_scheduled(&mut self, at: Time, seq: u64, event: Event) {
         self.len += 1;
         if self.len > self.peak_len {
             self.peak_len = self.len;
@@ -301,9 +344,10 @@ impl EventQueue {
     }
 
     /// Total events ever scheduled. Sequence numbers are allocated densely
-    /// per schedule, so the statistic cannot drift from the tie-break seq.
+    /// per schedule, so the statistic cannot drift from the tie-break seq;
+    /// explicit-key schedules are counted separately.
     pub fn scheduled_total(&self) -> u64 {
-        self.next_seq
+        self.next_seq + self.extra_scheduled
     }
 
     /// High-water mark of pending events.
@@ -424,6 +468,27 @@ mod tests {
         assert_eq!(t, 150);
         assert!(matches!(ev, Event::FlowStart(FlowId(2))));
         assert_eq!(q.pop().unwrap().0, 1 << 20);
+    }
+
+    #[test]
+    fn explicit_seq_sorts_after_ordinary_events_and_by_key() {
+        // Boundary arrivals at the same instant must pop after ordinary
+        // same-instant events (their keys sit above BOUNDARY_SEQ_BASE)
+        // and among themselves in key order, regardless of scheduling
+        // order.
+        let mut q = EventQueue::new();
+        q.schedule_with_seq(5, boundary_seq(LinkId(3), 1), Event::FlowStart(FlowId(3)));
+        q.schedule_with_seq(5, boundary_seq(LinkId(3), 0), Event::FlowStart(FlowId(2)));
+        q.schedule(5, Event::FlowStart(FlowId(0)));
+        q.schedule(5, Event::FlowStart(FlowId(1)));
+        q.schedule_with_seq(5, boundary_seq(LinkId(9), 0), Event::FlowStart(FlowId(4)));
+        for expect in 0..5u32 {
+            match q.pop().unwrap().1 {
+                Event::FlowStart(f) => assert_eq!(f, FlowId(expect)),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(q.scheduled_total(), 5, "explicit-seq schedules counted");
     }
 
     #[test]

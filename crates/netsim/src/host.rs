@@ -320,10 +320,21 @@ impl Host {
         if progressed {
             f.bytes_acked = pkt.seq;
         }
+        // A time-inverted echo (send timestamp ahead of the arrival
+        // clock) means the fabric delivered a packet before it was sent;
+        // presenting it clamped to zero would poison RTT estimators, so
+        // the sample is skipped instead — and flagged loudly in debug.
+        debug_assert!(
+            now >= pkt.ts_sent,
+            "flow {:?}: ACK echoes send timestamp {} ahead of now {}",
+            pkt.flow,
+            pkt.ts_sent,
+            now
+        );
         let view = AckView {
             seq: pkt.seq,
             ecn_echo: pkt.ecn_echo,
-            rtt_sample: now.saturating_sub(pkt.ts_sent),
+            rtt_sample: now.checked_sub(pkt.ts_sent),
             int: pkt.int(),
             r_dqm_bps: pkt.mlcc.r_dqm_bps(),
             now,

@@ -58,6 +58,7 @@ pub mod pfq;
 pub mod queue;
 pub mod rng;
 pub mod routing;
+pub mod shard;
 pub mod sim;
 pub mod switch;
 pub mod topology;
@@ -82,6 +83,9 @@ pub mod prelude {
     pub use crate::packet::{MlccFields, Packet, PacketKind, PktPool, MAX_PACKET_BYTES};
     pub use crate::pfc::{PfcConfig, PfcThreshold};
     pub use crate::rng::{SimRng, Xoshiro256StarStar};
+    pub use crate::shard::{
+        partition_components, run_sharded, run_single_canonical, ShardCtx, ShardedOutput,
+    };
     pub use crate::sim::{SimOutput, Simulator};
     pub use crate::switch::SwitchKind;
     pub use crate::topology::{

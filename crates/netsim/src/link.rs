@@ -66,6 +66,10 @@ pub struct Link {
     pub pfq_wake_at: Option<Time>,
     /// INT hop identifier (unique per link).
     pub hop_id: u32,
+    /// Packets ever put on the wire by this egress. On long-haul links
+    /// this is the content-derived arrival tie-break (see
+    /// [`crate::event::boundary_seq`]); elsewhere it is just a counter.
+    pub wire_seq: u64,
     /// Fault-injection state (see [`crate::fault`]); `None` on healthy
     /// links, which then perform no fault bookkeeping or RNG draws.
     pub faults: Option<Box<FaultState>>,
@@ -123,6 +127,7 @@ mod tests {
             tx_bytes: 0,
             pfq_wake_at: None,
             hop_id: 0,
+            wire_seq: 0,
             faults: None,
         }
     }

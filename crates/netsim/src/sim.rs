@@ -4,7 +4,7 @@
 
 use crate::cc::{CcEnv, CcFactory};
 use crate::config::{ConfigError, SimConfig};
-use crate::event::{Event, EventQueue};
+use crate::event::{boundary_seq, Event, EventQueue};
 use crate::fault::{FaultProfile, FaultState};
 use crate::flow::{FctRecord, FlowPath, FlowSpec};
 use crate::host::HostTx;
@@ -73,7 +73,15 @@ pub struct Simulator {
     pub flows: Vec<FlowSpec>,
     pub paths: Vec<Option<FlowPath>>,
     factory: Box<dyn CcFactory>,
-    rng: Xoshiro256StarStar,
+    /// Per-link ECN samplers: each egress draws from its own substream
+    /// keyed by `(cfg.seed ⊕ ECN_STREAM_SALT, link id)`, so the draw
+    /// sequence a link sees depends only on that link's enqueue history —
+    /// never on interleaving with other links. That independence is what
+    /// lets a sharded run reproduce the single-threaded mark pattern.
+    ecn_rngs: Vec<Xoshiro256StarStar>,
+    /// Shard context when this simulator runs as one shard of a
+    /// [`crate::shard::ShardedSim`]; `None` in ordinary runs.
+    pub shard: Option<crate::shard::ShardCtx>,
     /// Packet-id source plus the recycled heap boxes (packets and INT
     /// stacks) that make the steady-state data path allocation-free: a
     /// packet lives in exactly one box from birth at the host NIC to
@@ -91,6 +99,11 @@ pub struct Simulator {
 
 // The link type is defined in `link.rs`; alias locally for brevity.
 use crate::link::Link as Link2;
+
+/// Mixed into the simulation seed before deriving the per-link ECN
+/// substreams, so they can never collide with the fault substreams (or
+/// any other consumer keyed off the raw seed).
+const ECN_STREAM_SALT: u64 = 0x00EC_117E_57A7_5EED;
 
 impl Simulator {
     /// Create a simulator over a built network, panicking on degenerate
@@ -114,9 +127,13 @@ impl Simulator {
         crate::config::validate(&cfg, &net)?;
         #[cfg(feature = "audit")]
         let n_links = net.links.len();
+        let ecn_rngs = (0..net.links.len() as u64)
+            .map(|l| Xoshiro256StarStar::substream(cfg.seed ^ ECN_STREAM_SALT, l))
+            .collect();
         let mut sim = Simulator {
             now: 0,
-            rng: Xoshiro256StarStar::seed_from_u64(cfg.seed),
+            ecn_rngs,
+            shard: None,
             cfg,
             events: EventQueue::new(),
             nodes: net.nodes,
@@ -178,6 +195,12 @@ impl Simulator {
         if !profile.is_active() {
             return;
         }
+        // In shard mode only the owner of the link's egress serializes
+        // onto it; other shards ignore the profile entirely so flap
+        // events and drop counters are not double-counted.
+        if !self.owns_node(self.links[link.index()].src) {
+            return;
+        }
         for w in &profile.flaps {
             self.events
                 .schedule(w.down_at, Event::LinkFault { link, down: true });
@@ -195,12 +218,45 @@ impl Simulator {
         }
     }
 
-    /// Register a flow; it starts at `start`.
+    /// Register a flow; it starts at `start`. Panics on degenerate
+    /// specs — use [`Self::try_add_flow`] for the typed error.
     pub fn add_flow(&mut self, src: NodeId, dst: NodeId, size_bytes: u64, start: Time) -> FlowId {
-        assert!(
-            src != dst,
-            "flow {src} → {dst}: source and destination are the same host"
-        );
+        match self.try_add_flow(src, dst, size_bytes, start) {
+            Ok(id) => id,
+            Err(e) => panic!("flow {src} → {dst}: {e}"),
+        }
+    }
+
+    /// Fallible flow registration: rejects self-flows, zero-byte flows,
+    /// and endpoints that are not hosts with a typed [`ConfigError`].
+    ///
+    /// The receive side (resolved path + receiver CC) is installed
+    /// eagerly here rather than at the `FlowStart` event: registration
+    /// has no observable side effect before the first data packet
+    /// lands, and it means a shard that owns only the destination of a
+    /// cross-shard flow never needs to see the source's events.
+    pub fn try_add_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: u64,
+        start: Time,
+    ) -> Result<FlowId, ConfigError> {
+        if src == dst {
+            return Err(ConfigError::SelfFlow { node: src });
+        }
+        if size_bytes == 0 {
+            return Err(ConfigError::EmptyFlow { src, dst });
+        }
+        for ep in [src, dst] {
+            if self
+                .nodes
+                .get(ep.index())
+                .is_none_or(|n| n.as_host().is_none())
+            {
+                return Err(ConfigError::NonHostFlowEndpoint { node: ep });
+            }
+        }
         let id = FlowId(self.flows.len() as u32);
         let spec = FlowSpec {
             id,
@@ -210,9 +266,85 @@ impl Simulator {
             start,
         };
         self.flows.push(spec);
-        self.paths.push(None);
-        self.events.schedule(start, Event::FlowStart(id));
-        id
+        let path = self.resolve_path(&spec);
+        self.paths.push(Some(path));
+        let env = CcEnv {
+            flow: spec,
+            path,
+            mtu_bytes: self.cfg.mtu_payload,
+        };
+        let receiver = self.factory.receiver(&env);
+        if let Some(h) = self.nodes[spec.dst.index()].as_host_mut() {
+            h.add_recv_flow(spec, path, receiver);
+        }
+        if self.owns_node(src) {
+            self.events.schedule(start, Event::FlowStart(id));
+        }
+        Ok(id)
+    }
+
+    /// Whether this simulator is responsible for `node`'s events: always
+    /// true in ordinary runs, and true exactly for the owned partition
+    /// when running as a shard.
+    #[inline]
+    pub fn owns_node(&self, node: NodeId) -> bool {
+        match &self.shard {
+            None => true,
+            Some(sh) => sh.owns(node),
+        }
+    }
+
+    /// Install the shard context. Must precede flow registration (flow
+    /// start scheduling is ownership-gated) and rules out the periodic
+    /// monitor, which samples state a single shard does not own.
+    pub fn set_shard(&mut self, ctx: crate::shard::ShardCtx) {
+        assert_eq!(
+            self.cfg.monitor_interval, 0,
+            "the periodic monitor is unsupported in sharded runs"
+        );
+        assert!(self.flows.is_empty(), "set_shard must precede add_flow");
+        self.shard = Some(ctx);
+    }
+
+    /// Deliver a boundary packet exported by a peer shard (at a window
+    /// barrier): adopt the box into this shard's pool, record the wire
+    /// crossing, and schedule the arrival under its content-derived key.
+    pub fn deliver_boundary(&mut self, bp: crate::shard::BoundaryPacket) {
+        self.pkt_pool.adopt(&bp.packet);
+        #[cfg(feature = "audit")]
+        self.audit.on_wire(bp.link, &bp.packet);
+        self.events.schedule_with_seq(
+            bp.at,
+            bp.seq,
+            Event::Arrival {
+                link: bp.link,
+                packet: bp.packet,
+            },
+        );
+    }
+
+    /// Run every pending event with `t < until` (and within
+    /// `stop_time`): one lookahead window of a sharded run.
+    pub fn run_window(&mut self, until: Time) {
+        while let Some(t) = self.events.peek_time() {
+            if t >= until || t > self.cfg.stop_time {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Whether a pending event within `stop_time` remains.
+    pub fn has_runnable_events(&mut self) -> bool {
+        self.events
+            .peek_time()
+            .is_some_and(|t| t <= self.cfg.stop_time)
+    }
+
+    /// Finalize a sharded run's statistics (the shard runner calls this
+    /// once, after the last barrier).
+    pub(crate) fn finalize_shard(&mut self) {
+        self.finalize();
     }
 
     /// Hop-by-hop links a flow will take (ECMP-resolved).
@@ -410,18 +542,13 @@ impl Simulator {
             dst: spec.dst,
             size_bytes: spec.size_bytes,
         });
-        let path = self.resolve_path(&spec);
-        self.paths[fid.index()] = Some(path);
+        let path = self.paths[fid.index()].expect("path resolved at registration");
         let env = CcEnv {
             flow: spec,
             path,
             mtu_bytes: self.cfg.mtu_payload,
         };
         let sender = self.factory.sender(&env);
-        let receiver = self.factory.receiver(&env);
-        if let Some(h) = self.nodes[spec.dst.index()].as_host_mut() {
-            h.add_recv_flow(spec, path, receiver);
-        }
         let (timer, uplink, rto_at) = {
             let h = self.nodes[spec.src.index()]
                 .as_host_mut()
@@ -641,7 +768,7 @@ impl Simulator {
             // topologies under the same seed.
             let qlen = self.links[egress.index()].data_queued_bytes();
             let p = self.links[egress.index()].ecn.mark_probability(qlen);
-            if p > 0.0 && self.rng.gen_f64() < p {
+            if p > 0.0 && self.ecn_rngs[egress.index()].gen_f64() < p {
                 pkt.ecn = true;
                 self.out.ecn_marks += 1;
             }
@@ -855,15 +982,60 @@ impl Simulator {
             Some(at) => {
                 // The packet keeps living in the same box it was born
                 // in: scheduling the arrival moves one pointer.
-                #[cfg(feature = "audit")]
-                self.audit.on_wire(l, &pkt);
-                self.events.schedule(
-                    at,
-                    Event::Arrival {
-                        link: l,
-                        packet: pkt,
-                    },
-                );
+                if self.links[l.index()].opts.long_haul {
+                    // Long-haul arrivals tie-break by (link, wire seq)
+                    // instead of insertion order, so the same-instant
+                    // order is a function of the packet itself and every
+                    // shard count reproduces it.
+                    let ws = {
+                        let lk = &mut self.links[l.index()];
+                        let s = lk.wire_seq;
+                        lk.wire_seq += 1;
+                        s
+                    };
+                    let key = boundary_seq(l, ws);
+                    let dst = self.links[l.index()].dst;
+                    if self.owns_node(dst) {
+                        #[cfg(feature = "audit")]
+                        self.audit.on_wire(l, &pkt);
+                        self.events.schedule_with_seq(
+                            at,
+                            key,
+                            Event::Arrival {
+                                link: l,
+                                packet: pkt,
+                            },
+                        );
+                    } else {
+                        // Cross-shard: hand the box to the destination
+                        // shard at the next barrier. The auditor's
+                        // on_wire fires at delivery in the owning shard
+                        // (outbox order preserves per-link FIFO), and
+                        // the pool's outstanding count transfers with
+                        // the box.
+                        self.pkt_pool.export(&pkt);
+                        self.shard
+                            .as_mut()
+                            .expect("non-owned link dst implies shard mode")
+                            .outbox
+                            .push(crate::shard::BoundaryPacket {
+                                at,
+                                link: l,
+                                seq: key,
+                                packet: pkt,
+                            });
+                    }
+                } else {
+                    #[cfg(feature = "audit")]
+                    self.audit.on_wire(l, &pkt);
+                    self.events.schedule(
+                        at,
+                        Event::Arrival {
+                            link: l,
+                            packet: pkt,
+                        },
+                    );
+                }
             }
             None => {
                 #[cfg(feature = "audit")]
@@ -1066,6 +1238,45 @@ mod tests {
         .expect_err("src == dst must be rejected");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("source and destination"), "got: {msg}");
+    }
+
+    #[test]
+    fn zero_byte_flow_is_rejected() {
+        // A zero-byte flow would "complete" without ever sending and
+        // wedge completion accounting (found by fuzz_sim size shrink).
+        let mut sim = Simulator::new(line_net(), SimConfig::default(), Box::new(NoCcFactory));
+        assert_eq!(
+            sim.try_add_flow(NodeId(0), NodeId(1), 0, 0),
+            Err(ConfigError::EmptyFlow {
+                src: NodeId(0),
+                dst: NodeId(1)
+            })
+        );
+        assert!(sim.flows.is_empty(), "rejected flow must not register");
+    }
+
+    #[test]
+    fn switch_flow_endpoint_is_rejected() {
+        // NodeId(2) is the switch in line_net: it can neither source nor
+        // sink a flow, and pre-validation used to index into host state.
+        let mut sim = Simulator::new(line_net(), SimConfig::default(), Box::new(NoCcFactory));
+        assert_eq!(
+            sim.try_add_flow(NodeId(0), NodeId(2), 1000, 0),
+            Err(ConfigError::NonHostFlowEndpoint { node: NodeId(2) })
+        );
+        assert_eq!(
+            sim.try_add_flow(NodeId(2), NodeId(1), 1000, 0),
+            Err(ConfigError::NonHostFlowEndpoint { node: NodeId(2) })
+        );
+    }
+
+    #[test]
+    fn out_of_range_flow_endpoint_is_rejected() {
+        let mut sim = Simulator::new(line_net(), SimConfig::default(), Box::new(NoCcFactory));
+        assert_eq!(
+            sim.try_add_flow(NodeId(0), NodeId(99), 1000, 0),
+            Err(ConfigError::NonHostFlowEndpoint { node: NodeId(99) })
+        );
     }
 
     #[test]

@@ -102,6 +102,7 @@ impl NetBuilder {
                 tx_bytes: 0,
                 pfq_wake_at: None,
                 hop_id: id.0,
+                wire_seq: 0,
                 faults: None,
             });
         }

@@ -1,0 +1,167 @@
+//! Sharded-engine golden gate: the multi-core runner must reproduce the
+//! single-threaded engine bit-for-bit — full `SimOutput` plus the
+//! flight-recorder trace — at every shard count, faulted and fault-free.
+//!
+//! The shard count under test comes from `NETSIM_SHARDS` (default 2) so
+//! CI can run the same binary across a shard-count matrix. Shard count 1
+//! still goes through the full window/barrier protocol; the baseline is
+//! the plain engine with only the canonical `(time, component)` ordering
+//! applied (`run_single_canonical`).
+
+use mlcc_core::MlccFactory;
+use netsim::prelude::*;
+use netsim::shard::ShardedOutput;
+
+fn shards_under_test() -> u32 {
+    std::env::var("NETSIM_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+/// The MLCC dumbbell from the determinism gate: cross-DC flows in both
+/// directions over the long-haul pair, credit loop and ECN engaged.
+fn scenario(
+    faulted: bool,
+    seed: u64,
+) -> (
+    impl Fn() -> Simulator + Sync,
+    impl Fn(&mut Simulator) + Sync,
+) {
+    let topo = DumbbellTopology::build(DumbbellParams::default());
+    let cfg = SimConfig {
+        stop_time: 2 * SEC,
+        dci: DciFeatures::mlcc(),
+        seed,
+        ..SimConfig::default()
+    };
+    let servers = topo.servers.clone();
+    let long_haul = topo.long_haul;
+    let build = move || {
+        let topo = DumbbellTopology::build(DumbbellParams::default());
+        Simulator::new(topo.net, cfg, Box::new(MlccFactory::default()))
+    };
+    let setup = move |sim: &mut Simulator| {
+        if faulted {
+            let profile = FaultProfile::uniform_loss(0.01).with_jitter(5 * US);
+            for l in long_haul {
+                sim.inject_link_faults(l, profile.clone());
+            }
+        }
+        for side in 0..2 {
+            let senders = &servers[side];
+            let receivers = &servers[1 - side];
+            for i in 0..2 {
+                sim.add_flow(
+                    senders[i % senders.len()],
+                    receivers[i % receivers.len()],
+                    500_000,
+                    (i as Time) * 100 * US,
+                );
+            }
+        }
+    };
+    (build, setup)
+}
+
+/// Everything compared across shard counts: the whole merged output
+/// except `peak_queue_depth`, which is a per-engine execution artifact
+/// (each shard has its own event queue) and documented as excluded.
+fn assert_identical(got: &ShardedOutput, want: &ShardedOutput, label: &str) {
+    assert_eq!(got.partitions, want.partitions, "{label}: partitions");
+    assert_eq!(
+        got.out.events_processed, want.out.events_processed,
+        "{label}: events_processed"
+    );
+    assert_eq!(
+        got.out.events_scheduled, want.out.events_scheduled,
+        "{label}: events_scheduled"
+    );
+    assert_eq!(
+        got.out.finished_at, want.out.finished_at,
+        "{label}: finished_at"
+    );
+    assert_eq!(
+        got.out.buffer_drops, want.out.buffer_drops,
+        "{label}: buffer_drops"
+    );
+    assert_eq!(
+        got.out.fault_drops, want.out.fault_drops,
+        "{label}: fault_drops"
+    );
+    assert_eq!(
+        got.out.fault_jittered, want.out.fault_jittered,
+        "{label}: fault_jittered"
+    );
+    assert_eq!(
+        got.out.link_flaps, want.out.link_flaps,
+        "{label}: link_flaps"
+    );
+    assert_eq!(
+        got.out.retransmits, want.out.retransmits,
+        "{label}: retransmits"
+    );
+    assert_eq!(got.out.ecn_marks, want.out.ecn_marks, "{label}: ecn_marks");
+    assert_eq!(
+        got.out.pfc_events, want.out.pfc_events,
+        "{label}: pfc_events"
+    );
+    let fcts = |o: &ShardedOutput| {
+        o.out
+            .fcts
+            .iter()
+            .map(|r| {
+                (
+                    r.flow.0,
+                    r.src.0,
+                    r.dst.0,
+                    r.size_bytes,
+                    r.start,
+                    r.finish,
+                    r.cross_dc,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(fcts(got), fcts(want), "{label}: fcts");
+    assert_eq!(got.trace, want.trace, "{label}: trace");
+}
+
+#[test]
+fn sharded_fault_free_run_is_bit_identical_to_single_thread() {
+    let (build, setup) = scenario(false, 3);
+    let base = netsim::shard::run_single_canonical(Some(100_000), &build, &setup);
+    assert!(!base.out.fcts.is_empty(), "scenario must complete flows");
+    assert!(!base.trace.is_empty(), "trace must have recorded events");
+    assert_eq!(base.out.fault_drops, 0, "fault-free run must not drop");
+    assert_eq!(base.partitions, 2, "dumbbell splits at the long haul");
+    for shards in [1, shards_under_test()] {
+        let sh = netsim::shard::run_sharded(shards, Some(100_000), &build, &setup);
+        assert_identical(&sh, &base, &format!("{shards}-shard fault-free"));
+    }
+}
+
+#[test]
+fn sharded_faulted_run_is_bit_identical_to_single_thread() {
+    let (build, setup) = scenario(true, 3);
+    let base = netsim::shard::run_single_canonical(Some(100_000), &build, &setup);
+    assert!(!base.out.fcts.is_empty(), "scenario must complete flows");
+    assert!(
+        base.out.fault_drops > 0,
+        "faulted run must exercise the loss path"
+    );
+    for shards in [1, shards_under_test()] {
+        let sh = netsim::shard::run_sharded(shards, Some(100_000), &build, &setup);
+        assert_identical(&sh, &base, &format!("{shards}-shard faulted"));
+    }
+}
+
+#[test]
+fn sharded_run_replays_itself() {
+    // The threaded runner must also be deterministic against itself
+    // across repeated invocations (thread scheduling must not leak in).
+    let (build, setup) = scenario(true, 11);
+    let a = netsim::shard::run_sharded(shards_under_test(), Some(100_000), &build, &setup);
+    let b = netsim::shard::run_sharded(shards_under_test(), Some(100_000), &build, &setup);
+    assert_identical(&a, &b, "replay");
+}
