@@ -7,9 +7,14 @@
 //! reports the average cross-DC FCT degradation relative to each
 //! algorithm's clean cell.
 //!
+//! A permanent-failure column rides along: a mid-transfer link cut that
+//! never heals and a host crash without restart. Those cells cannot
+//! complete — the assertion flips to the *termination guarantee*: every
+//! flow ends with a typed `Failed` verdict and zero flows hang.
+//!
 //! `--smoke` runs a reduced grid with smaller transfers for CI.
 
-use mlcc_bench::scenarios::faults::{run_cell, FaultCell, FaultCellResult};
+use mlcc_bench::scenarios::faults::{run_cell, FaultCell, FaultCellResult, PermFault};
 use mlcc_bench::scenarios::run_parallel;
 use mlcc_bench::Algo;
 use netsim::units::{Time, US};
@@ -37,6 +42,15 @@ fn main() {
                 jobs.push(Box::new(move || run_cell(cell)));
             }
         }
+        // The unsurvivable column, one cell per permanent fault kind.
+        for perm in [PermFault::LinkCut, PermFault::HostCrash] {
+            let cell = if smoke {
+                FaultCell::smoke(algo, 0.0, 0).with_perm(perm)
+            } else {
+                FaultCell::sweep(algo, 0.0, 0).with_perm(perm)
+            };
+            jobs.push(Box::new(move || run_cell(cell)));
+        }
     }
     let results = run_parallel(jobs);
 
@@ -48,7 +62,9 @@ fn main() {
         "algo",
         "loss",
         "jitter (µs)",
+        "perm",
         "done",
+        "failed",
         "cross avg (µs)",
         "degradation",
         "fault drops",
@@ -57,16 +73,31 @@ fn main() {
     for r in &results {
         let clean = results
             .iter()
-            .find(|c| c.cell.algo == r.cell.algo && c.cell.loss == 0.0 && c.cell.jitter == 0)
+            .find(|c| {
+                c.cell.algo == r.cell.algo
+                    && c.cell.loss == 0.0
+                    && c.cell.jitter == 0
+                    && c.cell.perm == PermFault::None
+            })
             .expect("clean cell present");
-        let degr = r.breakdown.cross_dc.avg_us / clean.breakdown.cross_dc.avg_us;
+        let (cross, degr) = if r.breakdown.cross_dc.count > 0 {
+            let d = r.breakdown.cross_dc.avg_us / clean.breakdown.cross_dc.avg_us;
+            (
+                format!("{:.1}", r.breakdown.cross_dc.avg_us),
+                format!("{d:.2}x"),
+            )
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
         t.row(vec![
             r.cell.algo.name().to_string(),
             format!("{:.2}%", r.cell.loss * 100.0),
             format!("{:.0}", r.cell.jitter as f64 / US as f64),
+            r.cell.perm.label().to_string(),
             format!("{}/{}", r.flows_completed, r.flows_total),
-            format!("{:.1}", r.breakdown.cross_dc.avg_us),
-            format!("{degr:.2}x"),
+            format!("{}", r.flows_failed),
+            cross,
+            degr,
             format!("{}", r.fault_drops),
             format!("{}", r.retransmits),
         ]);
@@ -74,26 +105,57 @@ fn main() {
     println!("{}", t.render());
 
     for r in &results {
-        assert!(
-            r.completed_all(),
-            "{} stranded {} of {} flows at loss {:.2}% jitter {} µs",
-            r.cell.algo.name(),
-            r.flows_total - r.flows_completed,
-            r.flows_total,
-            r.cell.loss * 100.0,
-            r.cell.jitter / US,
-        );
-        if r.cell.loss > 0.0 {
+        if r.cell.perm == PermFault::None {
             assert!(
-                r.fault_drops > 0,
-                "lossy cell must actually lose packets ({})",
-                r.cell.algo.name()
+                r.completed_all(),
+                "{} stranded {} of {} flows at loss {:.2}% jitter {} µs",
+                r.cell.algo.name(),
+                r.flows_total - r.flows_completed,
+                r.flows_total,
+                r.cell.loss * 100.0,
+                r.cell.jitter / US,
+            );
+            if r.cell.loss > 0.0 {
+                assert!(
+                    r.fault_drops > 0,
+                    "lossy cell must actually lose packets ({})",
+                    r.cell.algo.name()
+                );
+            }
+        } else {
+            // A permanent fault cannot be survived — it must be
+            // *accounted for*: typed failures, no hung flows.
+            assert!(
+                r.flows_failed > 0,
+                "{} {} cell failed nothing",
+                r.cell.algo.name(),
+                r.cell.perm.label()
+            );
+            assert_eq!(
+                r.flows_completed + r.flows_failed,
+                r.flows_total,
+                "{} {} cell: completed + failed must cover every flow",
+                r.cell.algo.name(),
+                r.cell.perm.label()
+            );
+            assert_eq!(
+                r.flows_hung,
+                0,
+                "{} {} cell left hung flows",
+                r.cell.algo.name(),
+                r.cell.perm.label()
             );
         }
     }
+    let n_perm = results
+        .iter()
+        .filter(|r| r.cell.perm != PermFault::None)
+        .count();
     println!(
-        "SHAPE OK: 100% completion across {} cells (loss ≤ 1%, jitter ≤ {} µs) for MLCC and DCQCN",
-        results.len(),
+        "SHAPE OK: 100% completion across {} recoverable cells (loss ≤ 1%, jitter ≤ {} µs) \
+         and typed termination across {} permanent-failure cells for MLCC and DCQCN",
+        results.len() - n_perm,
         jitters.iter().max().unwrap() / US,
+        n_perm,
     );
 }

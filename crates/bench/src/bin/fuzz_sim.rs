@@ -69,6 +69,8 @@ fn main() {
     let mut ran: u64 = 0;
     let mut events: u64 = 0;
     let mut incomplete: u64 = 0;
+    let mut failed: u64 = 0;
+    let mut stalls: u64 = 0;
     let mut first_violation: Option<(FuzzSpec, FuzzOutcome)> = None;
     const CHUNK: u64 = 32;
     let mut base = start;
@@ -87,6 +89,8 @@ fn main() {
             ran += 1;
             events += out.events;
             incomplete += u64::from(!out.completed);
+            failed += out.failed as u64;
+            stalls += u64::from(out.watchdog_fired);
             if out.violation.is_some() && first_violation.is_none() {
                 first_violation = Some((spec, out));
             }
@@ -100,7 +104,8 @@ fn main() {
             std::panic::set_hook(prev_hook);
             println!(
                 "fuzz_sim: {ran} seeds clean ({events} events total, \
-                 {incomplete} runs hit the stop time with flows pending)"
+                 {incomplete} runs hit the stop time with flows pending, \
+                 {failed} typed flow failures, {stalls} watchdog stalls)"
             );
         }
         Some((spec, out)) => {
@@ -129,8 +134,19 @@ fn report_one(spec: &FuzzSpec, out: &FuzzOutcome) {
     match &out.violation {
         Some(v) => println!("VIOLATION: {v}"),
         None => println!(
-            "clean: {}/{} flows finished, {} events, {} pfc pauses, {} buffer drops",
-            out.fcts, out.flows, out.events, out.pfc_pauses, out.buffer_drops
+            "clean: {}/{} flows finished ({} failed with a typed verdict{}), \
+             {} events, {} pfc pauses, {} buffer drops",
+            out.fcts,
+            out.flows,
+            out.failed,
+            if out.watchdog_fired {
+                ", watchdog stall reported"
+            } else {
+                ""
+            },
+            out.events,
+            out.pfc_pauses,
+            out.buffer_drops
         ),
     }
 }

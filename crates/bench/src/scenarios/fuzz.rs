@@ -47,11 +47,32 @@ const FAULT_BITS: [u8; 6] = [
     FAULT_FLAP,
 ];
 
+/// Node-fault clauses a spec can apply, one bit each. The crash bits
+/// pick their victim and timing from the `(seed, 3)` substream — see
+/// [`FuzzSpec::node_fault_plan`].
+pub const NF_HOST_CRASH: u8 = 1 << 0;
+/// Turns the crashes into crash-restarts (no effect on its own).
+pub const NF_RESTART: u8 = 1 << 1;
+pub const NF_SWITCH_CRASH: u8 = 1 << 2;
+/// A fabric-wide control-plane outage window (all INT goes dark).
+pub const NF_CTRL_OUTAGE: u8 = 1 << 3;
+const NF_BITS: [u8; 4] = [NF_HOST_CRASH, NF_RESTART, NF_SWITCH_CRASH, NF_CTRL_OUTAGE];
+
+/// Give-up-policy clauses, one bit each; parameters come from the
+/// `(seed, 4)` substream — see [`FuzzSpec::giveup_plan`].
+pub const GV_RTO: u8 = 1 << 0;
+pub const GV_DEADLINE: u8 = 1 << 1;
+pub const GV_WATCHDOG: u8 = 1 << 2;
+const GV_BITS: [u8; 3] = [GV_RTO, GV_DEADLINE, GV_WATCHDOG];
+
 /// Deliberate invariant breakers (demo/negative tests only — never
 /// produced by [`FuzzSpec::generate`]).
 pub const CHAOS_NONE: u8 = 0;
 pub const CHAOS_SKIP_PFC: u8 = 1;
 pub const CHAOS_LEAK: u8 = 2;
+/// Suppress the liveness watchdog's stall report (the auditor must
+/// notice the missing report at finalize).
+pub const CHAOS_MUTE_WATCHDOG: u8 = 3;
 
 /// One fuzz scenario, small enough to print as a replay command.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -74,6 +95,10 @@ pub struct FuzzSpec {
     pub wl: u8,
     /// Intra-DC switch buffer override in KB (0 = topology default).
     pub buf_kb: u32,
+    /// Set of `NF_*` node-fault clauses.
+    pub nf: u8,
+    /// Set of `GV_*` give-up-policy clauses.
+    pub gv: u8,
     /// `CHAOS_*` invariant breaker (demo tests only).
     pub chaos: u8,
 }
@@ -94,6 +119,13 @@ impl FuzzSpec {
             fault_mask: shape.gen_range(0..64) as u8,
             wl: u8::from(shape.gen_range(0..4) == 0),
             buf_kb: 0,
+            // The node-fault and give-up draws are APPENDED to the
+            // shape stream, so older seeds keep their original shape
+            // attributes bit-for-bit. Most node-faulted specs cannot
+            // complete every flow; that is the point — the engine must
+            // still terminate, conserve, and type every outcome.
+            nf: shape.gen_range(0..16) as u8,
+            gv: shape.gen_range(0..8) as u8,
             chaos: CHAOS_NONE,
         }
     }
@@ -146,6 +178,44 @@ impl FuzzSpec {
         }
         [fwd, rev]
     }
+
+    /// Node-fault victims and timing from the `(seed, 3)` substream.
+    /// Picks are raw draws reduced modulo the candidate count at apply
+    /// time; every parameter is drawn unconditionally so dropping one
+    /// `NF_*` clause never re-rolls the others.
+    fn node_fault_plan(&self) -> NodeFaultPlan {
+        let mut draws = Xoshiro256StarStar::substream(self.seed, 3);
+        NodeFaultPlan {
+            host_pick: draws.gen_range(0..1 << 16) as usize,
+            switch_pick: draws.gen_range(0..1 << 16) as usize,
+            down_at: (1 + draws.gen_range(0..8)) as Time * MS,
+            outage: (2 + draws.gen_range(0..8)) as Time * MS,
+            ctrl_from: (1 + draws.gen_range(0..8)) as Time * MS,
+            ctrl_len: (1 + draws.gen_range(0..10)) as Time * MS,
+        }
+    }
+
+    /// Give-up-policy parameters from the `(seed, 4)` substream:
+    /// `(rto strike limit, flow deadline, watchdog window)`.
+    fn giveup_plan(&self) -> (u32, Time, Time) {
+        let mut draws = Xoshiro256StarStar::substream(self.seed, 4);
+        let rto = 3 + draws.gen_range(0..5) as u32;
+        let deadline = (10 + draws.gen_range(0..40)) as Time * MS;
+        let window = (5 + draws.gen_range(0..25)) as Time * MS;
+        (rto, deadline, window)
+    }
+}
+
+/// Expanded node-fault parameters (see [`FuzzSpec::node_fault_plan`]).
+struct NodeFaultPlan {
+    host_pick: usize,
+    switch_pick: usize,
+    /// Crash instant for both crash kinds.
+    down_at: Time,
+    /// Outage length when `NF_RESTART` is set.
+    outage: Time,
+    ctrl_from: Time,
+    ctrl_len: Time,
 }
 
 /// Replay format: `key=value` pairs, comma-separated, no spaces.
@@ -154,7 +224,7 @@ impl std::fmt::Display for FuzzSpec {
         write!(
             f,
             "seed={},algo={},topo={},hosts={},flows={},stop_ms={},\
-             faults={},wl={},buf_kb={},chaos={}",
+             faults={},wl={},buf_kb={},nf={},gv={},chaos={}",
             self.seed,
             self.algo,
             self.topo,
@@ -164,6 +234,8 @@ impl std::fmt::Display for FuzzSpec {
             self.fault_mask,
             self.wl,
             self.buf_kb,
+            self.nf,
+            self.gv,
             self.chaos
         )
     }
@@ -181,6 +253,8 @@ pub fn parse_spec(s: &str) -> Result<FuzzSpec, String> {
         fault_mask: 0,
         wl: 0,
         buf_kb: 0,
+        nf: 0,
+        gv: 0,
         chaos: CHAOS_NONE,
     };
     for kv in s.split(',') {
@@ -202,6 +276,8 @@ pub fn parse_spec(s: &str) -> Result<FuzzSpec, String> {
             "faults" => spec.fault_mask = parse("faults")? as u8,
             "wl" => spec.wl = parse("wl")? as u8,
             "buf_kb" => spec.buf_kb = parse("buf_kb")? as u32,
+            "nf" => spec.nf = parse("nf")? as u8,
+            "gv" => spec.gv = parse("gv")? as u8,
             "chaos" => spec.chaos = parse("chaos")? as u8,
             other => return Err(format!("unknown spec key {other:?}")),
         }
@@ -218,6 +294,10 @@ pub struct FuzzOutcome {
     pub completed: bool,
     pub flows: usize,
     pub fcts: usize,
+    /// Flows with a typed `Failed` verdict (give-up policy engaged).
+    pub failed: usize,
+    /// The liveness watchdog declared a global stall.
+    pub watchdog_fired: bool,
     pub events: u64,
     pub pfc_pauses: u64,
     pub buffer_drops: u64,
@@ -236,12 +316,24 @@ fn panic_text(e: Box<dyn std::any::Any + Send>) -> String {
 /// Build and run one spec, capturing any panic as a violation.
 pub fn run_spec(spec: &FuzzSpec) -> FuzzOutcome {
     let spec = *spec;
-    let run = move || -> (bool, usize, usize, u64, u64, u64) {
-        let (net, long_haul, servers) = build_net(&spec);
+    let run = move || -> FuzzOutcome {
+        let (net, long_haul, servers, switches) = build_net(&spec);
+        let (gv_rto, gv_deadline, gv_window) = spec.giveup_plan();
         let cfg = SimConfig {
             stop_time: spec.stop_ms as Time * MS,
             dci: spec.algo().dci_features(),
             seed: spec.seed,
+            giveup_rto_limit: if spec.gv & GV_RTO != 0 { gv_rto } else { 0 },
+            flow_deadline: if spec.gv & GV_DEADLINE != 0 {
+                gv_deadline
+            } else {
+                0
+            },
+            watchdog_window: if spec.gv & GV_WATCHDOG != 0 {
+                gv_window
+            } else {
+                0
+            },
             ..SimConfig::default()
         };
         let mut sim = Simulator::new(net, cfg, spec.algo().factory());
@@ -252,12 +344,30 @@ pub fn run_spec(spec: &FuzzSpec) -> FuzzOutcome {
                 CHAOS_LEAK => Some(netsim::audit::Chaos::LeakQueuedPacket {
                     after_events: 10_000,
                 }),
+                CHAOS_MUTE_WATCHDOG => Some(netsim::audit::Chaos::MuteWatchdog),
                 _ => None,
             };
         }
         let profiles = spec.fault_profiles();
         for (i, profile) in profiles.into_iter().enumerate() {
             sim.inject_link_faults(long_haul[i], profile);
+        }
+        let plan = spec.node_fault_plan();
+        let mk_fault = |victim: NodeId| {
+            if spec.nf & NF_RESTART != 0 {
+                NodeFault::restart(victim, plan.down_at, plan.down_at + plan.outage)
+            } else {
+                NodeFault::crash(victim, plan.down_at)
+            }
+        };
+        if spec.nf & NF_HOST_CRASH != 0 {
+            sim.inject_node_fault(mk_fault(servers[plan.host_pick % servers.len()]));
+        }
+        if spec.nf & NF_SWITCH_CRASH != 0 {
+            sim.inject_node_fault(mk_fault(switches[plan.switch_pick % switches.len()]));
+        }
+        if spec.nf & NF_CTRL_OUTAGE != 0 {
+            sim.inject_ctrl_outage(plan.ctrl_from, plan.ctrl_from + plan.ctrl_len);
         }
         let n = spec.flows as usize;
         for i in 0..n {
@@ -291,30 +401,27 @@ pub fn run_spec(spec: &FuzzSpec) -> FuzzOutcome {
             sim.add_flow(src, dst, size, start);
         }
         let completed = sim.run_until_flows_complete();
-        (
-            completed,
-            n,
-            sim.out.fcts.len(),
-            sim.out.events_processed,
-            sim.total_pfc_pauses(),
-            sim.out.buffer_drops,
-        )
-    };
-    match catch_unwind(AssertUnwindSafe(run)) {
-        Ok((completed, flows, fcts, events, pfc_pauses, buffer_drops)) => FuzzOutcome {
+        FuzzOutcome {
             violation: None,
             completed,
-            flows,
-            fcts,
-            events,
-            pfc_pauses,
-            buffer_drops,
-        },
+            flows: n,
+            fcts: sim.out.fcts.len(),
+            failed: sim.out.failed().count(),
+            watchdog_fired: sim.out.watchdog.is_some(),
+            events: sim.out.events_processed,
+            pfc_pauses: sim.total_pfc_pauses(),
+            buffer_drops: sim.out.buffer_drops,
+        }
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(out) => out,
         Err(e) => FuzzOutcome {
             violation: Some(panic_text(e)),
             completed: false,
             flows: spec.flows as usize,
             fcts: 0,
+            failed: 0,
+            watchdog_fired: false,
             events: 0,
             pfc_pauses: 0,
             buffer_drops: 0,
@@ -322,9 +429,10 @@ pub fn run_spec(spec: &FuzzSpec) -> FuzzOutcome {
     }
 }
 
-/// Topology expansion: network, the long-haul link pair, and the server
-/// list flows draw endpoints from.
-fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>) {
+/// Topology expansion: network, the long-haul link pair, the server
+/// list flows draw endpoints from, and the intra-DC switches the
+/// switch-crash clause picks its victim from.
+fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>, Vec<NodeId>) {
     if spec.topo == 0 {
         let mut params = DumbbellParams {
             servers_per_tor: spec.hosts as usize,
@@ -335,7 +443,7 @@ fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>) {
         }
         let topo = DumbbellTopology::build(params);
         let servers: Vec<NodeId> = topo.servers.iter().flatten().copied().collect();
-        (topo.net, topo.long_haul, servers)
+        (topo.net, topo.long_haul, servers, topo.tors.to_vec())
     } else {
         let mut params = TwoDcParams {
             servers_per_leaf: spec.hosts as usize,
@@ -347,7 +455,8 @@ fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>) {
         }
         let topo = TwoDcTopology::build(params);
         let servers = topo.net.hosts.clone();
-        (topo.net, topo.long_haul, servers)
+        let switches: Vec<NodeId> = topo.leaves.iter().flatten().copied().collect();
+        (topo.net, topo.long_haul, servers, switches)
     }
 }
 
@@ -397,6 +506,22 @@ fn candidates(s: &FuzzSpec) -> Vec<FuzzSpec> {
             });
         }
     }
+    for bit in NF_BITS {
+        if s.nf & bit != 0 {
+            v.push(FuzzSpec {
+                nf: s.nf & !bit,
+                ..*s
+            });
+        }
+    }
+    for bit in GV_BITS {
+        if s.gv & bit != 0 {
+            v.push(FuzzSpec {
+                gv: s.gv & !bit,
+                ..*s
+            });
+        }
+    }
     v
 }
 
@@ -409,6 +534,8 @@ mod tests {
         for seed in [0u64, 1, 17, 0xDEAD_BEEF] {
             let mut spec = FuzzSpec::generate(seed);
             spec.buf_kb = 384;
+            spec.nf = NF_HOST_CRASH | NF_RESTART;
+            spec.gv = GV_WATCHDOG;
             spec.chaos = CHAOS_LEAK;
             let parsed = parse_spec(&spec.to_string()).expect("own format parses");
             assert_eq!(parsed, spec);
@@ -453,6 +580,8 @@ mod tests {
             fault_mask: 0,
             wl: 1, // incast onto one server
             buf_kb: 192,
+            nf: 0,
+            gv: 0,
             chaos: CHAOS_SKIP_PFC,
         };
         let out = run_spec(&spec);
@@ -479,6 +608,39 @@ mod tests {
         assert!(clean.violation.is_none(), "{:?}", clean.violation);
     }
 
+    /// Sabotage the liveness watchdog: find a spec whose clean run
+    /// genuinely stalls (the watchdog fires), then prove that muting
+    /// the watchdog on the *same* spec is caught by the audit layer's
+    /// finalize check instead of silently losing the stall report.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn muted_watchdog_is_caught() {
+        let stalled = (1..40u64)
+            .map(|seed| FuzzSpec {
+                // Incast with a host crash and the watchdog armed: the
+                // dead receiver strands the batch and the stall report
+                // is the only terminal verdict path.
+                wl: 1,
+                nf: NF_HOST_CRASH,
+                gv: GV_WATCHDOG,
+                ..FuzzSpec::generate(seed)
+            })
+            .find(|spec| {
+                let out = run_spec(spec);
+                out.violation.is_none() && out.watchdog_fired
+            })
+            .expect("some seed in 1..40 must stall into the watchdog");
+        let muted = run_spec(&FuzzSpec {
+            chaos: CHAOS_MUTE_WATCHDOG,
+            ..stalled
+        });
+        let msg = muted.violation.expect("a muted watchdog must be caught");
+        assert!(
+            msg.contains("watchdog never reported"),
+            "unexpected violation: {msg}"
+        );
+    }
+
     #[cfg(feature = "audit")]
     #[test]
     fn seeded_leak_fault_is_caught() {
@@ -492,6 +654,8 @@ mod tests {
             fault_mask: 0,
             wl: 1,
             buf_kb: 192,
+            nf: 0,
+            gv: 0,
             chaos: CHAOS_LEAK,
         };
         let out = run_spec(&spec);

@@ -52,6 +52,12 @@ pub enum Chaos {
     /// the flow's byte conservation, the pool census, and (at a switch
     /// egress) the shared-buffer accounting all break at drain.
     LeakQueuedPacket { after_events: u64 },
+    /// Swallow the liveness watchdog's verdict: the stall is detected
+    /// but never reported and no flow is failed. A genuinely stalled
+    /// run then finishes with unfinished flows, no progress for a full
+    /// window, and no report — which the finalize-time watchdog
+    /// cross-check flags.
+    MuteWatchdog,
 }
 
 /// Per-flow packet/byte ledger, one per flow id (control packets are
@@ -67,6 +73,8 @@ pub struct FlowLedger {
     pub buffer_drop_bytes: u64,
     pub fault_drop_pkts: u64,
     pub fault_drop_bytes: u64,
+    pub blackhole_drop_pkts: u64,
+    pub blackhole_drop_bytes: u64,
 }
 
 /// Per-link wire mirror: ids of packets currently between serialization
@@ -146,6 +154,14 @@ impl Auditor {
         let led = self.ledger_mut(pkt.flow);
         led.fault_drop_pkts += 1;
         led.fault_drop_bytes += pkt.size as u64;
+    }
+
+    /// A packet died at (or inside) a crashed node — its own ledger
+    /// category, so the census splits loss by cause.
+    pub(crate) fn on_blackhole(&mut self, pkt: &Packet) {
+        let led = self.ledger_mut(pkt.flow);
+        led.blackhole_drop_pkts += 1;
+        led.blackhole_drop_bytes += pkt.size as u64;
     }
 
     /// An arrival was scheduled: the packet is now on `link`'s wire.
@@ -308,17 +324,22 @@ impl Simulator {
             self.audit.shard_census = census;
         } else {
             for (i, led) in self.audit.flows.iter().enumerate() {
-                let pkts =
-                    led.delivered_pkts + led.buffer_drop_pkts + led.fault_drop_pkts + seen_pkts[i];
+                let pkts = led.delivered_pkts
+                    + led.buffer_drop_pkts
+                    + led.fault_drop_pkts
+                    + led.blackhole_drop_pkts
+                    + seen_pkts[i];
                 let bytes = led.delivered_bytes
                     + led.buffer_drop_bytes
                     + led.fault_drop_bytes
+                    + led.blackhole_drop_bytes
                     + seen_bytes[i];
                 assert!(
                     led.injected_pkts == pkts && led.injected_bytes == bytes,
                     "AUDIT VIOLATION: conservation broken for flow {i}: \
                      injected {}p/{}B but delivered {}p/{}B + buffer-dropped \
-                     {}p/{}B + fault-dropped {}p/{}B + in-flight {}p/{}B",
+                     {}p/{}B + fault-dropped {}p/{}B + black-holed {}p/{}B \
+                     + in-flight {}p/{}B",
                     led.injected_pkts,
                     led.injected_bytes,
                     led.delivered_pkts,
@@ -327,6 +348,8 @@ impl Simulator {
                     led.buffer_drop_bytes,
                     led.fault_drop_pkts,
                     led.fault_drop_bytes,
+                    led.blackhole_drop_pkts,
+                    led.blackhole_drop_bytes,
                     seen_pkts[i],
                     seen_bytes[i]
                 );
@@ -383,6 +406,13 @@ impl Simulator {
             ledger_fault, link_fault,
             "AUDIT VIOLATION: fault-drop ledger ({ledger_fault}) disagrees \
              with link fault counters ({link_fault})"
+        );
+        let ledger_bh: u64 = self.audit.flows.iter().map(|l| l.blackhole_drop_pkts).sum();
+        assert_eq!(
+            ledger_bh, self.out.blackhole_drops,
+            "AUDIT VIOLATION: blackhole ledger ({ledger_bh}) disagrees \
+             with the engine counter ({})",
+            self.out.blackhole_drops
         );
 
         // Shared-buffer accounting per switch.

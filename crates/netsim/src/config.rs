@@ -63,6 +63,25 @@ pub struct SimConfig {
     pub dci: DciFeatures,
     /// Monitor sampling interval (0 disables sampling).
     pub monitor_interval: Time,
+    /// Give-up policy: a flow that sees this many *consecutive*
+    /// no-progress RTO checks while already at the maximum backoff
+    /// shift is declared [`crate::flow::FlowOutcome::Failed`] instead
+    /// of retrying forever. 0 disables (the pre-existing behavior:
+    /// flows spin exponential RTOs until the stop time).
+    pub giveup_rto_limit: u32,
+    /// Absolute per-flow deadline measured from the flow's start time;
+    /// a flow still incomplete past it fails with
+    /// [`crate::flow::FailReason::Deadline`]. Enforced at
+    /// RTO-supervision granularity (the check rides the always-armed
+    /// RTO chain, so detection lags the deadline by at most one RTO
+    /// interval). 0 disables.
+    pub flow_deadline: Time,
+    /// Liveness watchdog: if no flow delivers a byte for this much sim
+    /// time while flows are still incomplete, the run is declared
+    /// globally stalled — remaining flows fail with
+    /// [`crate::flow::FailReason::Stalled`] and a
+    /// [`crate::sim::WatchdogReport`] is emitted. 0 disables.
+    pub watchdog_window: Time,
 }
 
 impl Default for SimConfig {
@@ -73,6 +92,9 @@ impl Default for SimConfig {
             stop_time: 100 * MS,
             dci: DciFeatures::baseline(),
             monitor_interval: 0,
+            giveup_rto_limit: 0,
+            flow_deadline: 0,
+            watchdog_window: 0,
         }
     }
 }
@@ -118,6 +140,18 @@ pub enum ConfigError {
     /// A flow endpoint that is a switch (or out of range) can neither
     /// send nor receive.
     NonHostFlowEndpoint { node: NodeId },
+    /// A fault-profile loss probability outside [0, 1]. The value is
+    /// carried as raw `f64` bits so the error stays `Copy + Eq`.
+    FaultProbability { knob: &'static str, bits: u64 },
+    /// A flap window that comes back up before (or exactly when) it
+    /// goes down has no down interval.
+    InvertedFlapWindow { down_at: Time, up_at: Time },
+    /// Flap windows that overlap or are out of order would double-count
+    /// down state.
+    OverlappingFlapWindows { prev_up: Time, next_down: Time },
+    /// A Gilbert–Elliott transition probability of exactly 1.0
+    /// collapses one of the two states to zero dwell time.
+    ZeroLengthGilbertState { state: &'static str },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -150,6 +184,27 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NonHostFlowEndpoint { node } => {
                 write!(f, "flow endpoint {node} is not a host")
             }
+            ConfigError::FaultProbability { knob, bits } => {
+                write!(
+                    f,
+                    "fault profile {knob} = {} is outside [0, 1]",
+                    f64::from_bits(*bits)
+                )
+            }
+            ConfigError::InvertedFlapWindow { down_at, up_at } => write!(
+                f,
+                "flap window must go down before up (down_at {down_at} >= up_at {up_at})"
+            ),
+            ConfigError::OverlappingFlapWindows { prev_up, next_down } => write!(
+                f,
+                "flap windows must be sorted and disjoint \
+                 (previous up_at {prev_up} > next down_at {next_down})"
+            ),
+            ConfigError::ZeroLengthGilbertState { state } => write!(
+                f,
+                "Gilbert-Elliott {state} state has zero dwell time \
+                 (transition probability 1.0)"
+            ),
         }
     }
 }

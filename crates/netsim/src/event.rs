@@ -45,6 +45,11 @@ pub enum Event {
     /// A scheduled fault transition: `link` goes down (`down = true`) or
     /// comes back up. Packets serialized while down are black-holed.
     LinkFault { link: LinkId, down: bool },
+    /// A scheduled node-level fault transition: a host or switch
+    /// crashes (`down = true`) or restarts. A down host black-holes
+    /// everything addressed to it and emits nothing; a down switch
+    /// additionally drains (drops) its buffered packets at crash time.
+    NodeFault { node: NodeId, down: bool },
 }
 
 /// A scheduled event. Ordering: time, then insertion sequence — two events

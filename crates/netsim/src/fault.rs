@@ -29,7 +29,9 @@
 //! microsecond of jitter into a retransmission storm, which is not the
 //! phenomenon the knob is for.
 
+use crate::config::ConfigError;
 use crate::rng::{SimRng, Xoshiro256StarStar};
+use crate::types::NodeId;
 use crate::units::Time;
 
 /// Mixed into the simulation seed before substream derivation so the
@@ -69,15 +71,30 @@ impl GilbertElliott {
         }
     }
 
-    fn validate(&self) {
+    fn validate(&self) -> Result<(), ConfigError> {
         for (name, p) in [
-            ("p_enter_bad", self.p_enter_bad),
-            ("p_exit_bad", self.p_exit_bad),
-            ("loss_good", self.loss_good),
-            ("loss_bad", self.loss_bad),
+            ("gilbert.p_enter_bad", self.p_enter_bad),
+            ("gilbert.p_exit_bad", self.p_exit_bad),
+            ("gilbert.loss_good", self.loss_good),
+            ("gilbert.loss_bad", self.loss_bad),
         ] {
-            assert!((0.0..=1.0).contains(&p), "GilbertElliott.{name} = {p}");
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::FaultProbability {
+                    knob: name,
+                    bits: p.to_bits(),
+                });
+            }
         }
+        // A transition probability of exactly 1.0 means the state is
+        // left on the very draw that entered it: zero dwell time, so
+        // the state can never filter a packet and the model degenerates.
+        if self.p_enter_bad == 1.0 {
+            return Err(ConfigError::ZeroLengthGilbertState { state: "good" });
+        }
+        if self.p_exit_bad == 1.0 {
+            return Err(ConfigError::ZeroLengthGilbertState { state: "bad" });
+        }
+        Ok(())
     }
 }
 
@@ -152,28 +169,92 @@ impl FaultProfile {
             || !self.flaps.is_empty()
     }
 
-    /// Panic on nonsensical parameters (probabilities outside [0, 1],
-    /// inverted flap windows).
-    pub fn validate(&self) {
-        assert!(
-            (0.0..=1.0).contains(&self.data_loss),
-            "data_loss = {}",
-            self.data_loss
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.ctrl_loss),
-            "ctrl_loss = {}",
-            self.ctrl_loss
-        );
+    /// Reject nonsensical parameters with a typed [`ConfigError`]:
+    /// probabilities outside [0, 1], inverted or overlapping flap
+    /// windows, zero-dwell Gilbert–Elliott states. The panicking
+    /// injection path ([`crate::sim::Simulator::inject_link_faults`])
+    /// panics with this error's message; `try_inject_link_faults`
+    /// surfaces it.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (name, p) in [("data_loss", self.data_loss), ("ctrl_loss", self.ctrl_loss)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::FaultProbability {
+                    knob: name,
+                    bits: p.to_bits(),
+                });
+            }
+        }
         if let Some(ge) = &self.gilbert {
-            ge.validate();
+            ge.validate()?;
         }
+        let mut prev_up: Option<Time> = None;
         for w in &self.flaps {
-            assert!(
-                w.down_at < w.up_at,
-                "flap window must go down before up: {w:?}"
-            );
+            if w.down_at >= w.up_at {
+                return Err(ConfigError::InvertedFlapWindow {
+                    down_at: w.down_at,
+                    up_at: w.up_at,
+                });
+            }
+            if let Some(up) = prev_up {
+                if w.down_at < up {
+                    return Err(ConfigError::OverlappingFlapWindows {
+                        prev_up: up,
+                        next_down: w.down_at,
+                    });
+                }
+            }
+            prev_up = Some(w.up_at);
         }
+        Ok(())
+    }
+}
+
+/// A scheduled node-level fault: a host or switch that crashes at
+/// `down_at` and, if `up_at` is set, restarts there — otherwise the
+/// node never comes back.
+///
+/// A crashed *host* black-holes every packet addressed to it and emits
+/// nothing; its flows stall, then fail (give-up policy or watchdog) or
+/// resume on restart. A crashed *switch* black-holes transit traffic
+/// and its buffered packets are drained (dropped) at crash time —
+/// a dead line card holds no state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeFault {
+    pub node: NodeId,
+    pub down_at: Time,
+    pub up_at: Option<Time>,
+}
+
+impl NodeFault {
+    /// A permanent crash: the node never restarts.
+    pub fn crash(node: NodeId, down_at: Time) -> Self {
+        NodeFault {
+            node,
+            down_at,
+            up_at: None,
+        }
+    }
+
+    /// A crash/restart window.
+    pub fn restart(node: NodeId, down_at: Time, up_at: Time) -> Self {
+        NodeFault {
+            node,
+            down_at,
+            up_at: Some(up_at),
+        }
+    }
+
+    /// A restart must come strictly after the crash.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(up) = self.up_at {
+            if self.down_at >= up {
+                return Err(ConfigError::InvertedFlapWindow {
+                    down_at: self.down_at,
+                    up_at: up,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -202,7 +283,9 @@ impl FaultState {
     /// Build the state for `link_id`, deriving the link's private
     /// substream from the simulation seed.
     pub fn new(profile: FaultProfile, sim_seed: u64, link_id: u64) -> Self {
-        profile.validate();
+        if let Err(e) = profile.validate() {
+            panic!("{e}");
+        }
         FaultState {
             profile,
             rng: Xoshiro256StarStar::substream(sim_seed ^ FAULT_STREAM_SALT, link_id),
@@ -284,7 +367,9 @@ impl FaultState {
     /// (flap drops are a subset of all drops).
     #[cfg(feature = "audit")]
     pub fn audit_check(&self) {
-        self.profile.validate();
+        if let Err(e) = self.profile.validate() {
+            panic!("AUDIT VIOLATION: fault profile went bad in flight: {e}");
+        }
         assert!(
             self.flap_drops <= self.drops,
             "AUDIT VIOLATION: link flap drops {} exceed total fault drops {}",
@@ -303,7 +388,7 @@ mod tests {
     fn default_profile_is_inert() {
         let p = FaultProfile::default();
         assert!(!p.is_active());
-        p.validate();
+        assert_eq!(p.validate(), Ok(()));
     }
 
     #[test]
@@ -317,15 +402,127 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "data_loss")]
     fn validate_rejects_bad_probability() {
-        FaultProfile::uniform_loss(1.5).validate();
+        assert_eq!(
+            FaultProfile::uniform_loss(1.5).validate(),
+            Err(ConfigError::FaultProbability {
+                knob: "data_loss",
+                bits: 1.5f64.to_bits(),
+            })
+        );
+        let p = FaultProfile {
+            ctrl_loss: -0.25,
+            ..FaultProfile::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ConfigError::FaultProbability {
+                knob: "ctrl_loss",
+                bits: (-0.25f64).to_bits(),
+            })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "down before up")]
     fn validate_rejects_inverted_flap() {
-        FaultProfile::flap(2 * MS, MS).validate();
+        assert_eq!(
+            FaultProfile::flap(2 * MS, MS).validate(),
+            Err(ConfigError::InvertedFlapWindow {
+                down_at: 2 * MS,
+                up_at: MS,
+            })
+        );
+        // Zero-length windows count as inverted: there is no down
+        // interval at all.
+        assert_eq!(
+            FaultProfile::flap(MS, MS).validate(),
+            Err(ConfigError::InvertedFlapWindow {
+                down_at: MS,
+                up_at: MS,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_flaps() {
+        let p = FaultProfile {
+            flaps: vec![
+                FlapWindow {
+                    down_at: MS,
+                    up_at: 3 * MS,
+                },
+                FlapWindow {
+                    down_at: 2 * MS,
+                    up_at: 4 * MS,
+                },
+            ],
+            ..FaultProfile::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ConfigError::OverlappingFlapWindows {
+                prev_up: 3 * MS,
+                next_down: 2 * MS,
+            })
+        );
+        // Back-to-back windows (next down exactly at previous up) are
+        // allowed: the link is never down twice at one instant.
+        let ok = FaultProfile {
+            flaps: vec![
+                FlapWindow {
+                    down_at: MS,
+                    up_at: 2 * MS,
+                },
+                FlapWindow {
+                    down_at: 2 * MS,
+                    up_at: 3 * MS,
+                },
+            ],
+            ..FaultProfile::default()
+        };
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_dwell_gilbert_states() {
+        let good = FaultProfile::default().with_gilbert(GilbertElliott::bursty(1.0, 0.2, 0.5));
+        assert_eq!(
+            good.validate(),
+            Err(ConfigError::ZeroLengthGilbertState { state: "good" })
+        );
+        let bad = FaultProfile::default().with_gilbert(GilbertElliott::bursty(0.01, 1.0, 0.5));
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::ZeroLengthGilbertState { state: "bad" })
+        );
+        let out_of_range =
+            FaultProfile::default().with_gilbert(GilbertElliott::bursty(0.01, 0.2, 1.5));
+        assert_eq!(
+            out_of_range.validate(),
+            Err(ConfigError::FaultProbability {
+                knob: "gilbert.loss_bad",
+                bits: 1.5f64.to_bits(),
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "data_loss")]
+    fn fault_state_construction_panics_on_invalid_profile() {
+        FaultState::new(FaultProfile::uniform_loss(1.5), 1, 0);
+    }
+
+    #[test]
+    fn node_fault_validates_its_window() {
+        assert_eq!(NodeFault::crash(NodeId(3), MS).validate(), Ok(()));
+        assert_eq!(NodeFault::restart(NodeId(3), MS, 2 * MS).validate(), Ok(()));
+        assert_eq!(
+            NodeFault::restart(NodeId(3), 2 * MS, MS).validate(),
+            Err(ConfigError::InvertedFlapWindow {
+                down_at: 2 * MS,
+                up_at: MS,
+            })
+        );
     }
 
     #[test]

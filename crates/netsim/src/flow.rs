@@ -38,6 +38,75 @@ pub struct FlowPath {
     pub hops: u32,
 }
 
+/// Why a flow ended without delivering every byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailReason {
+    /// Give-up policy fired: `giveup_rto_limit` consecutive
+    /// no-progress RTO checks while already at the maximum backoff
+    /// shift (a path that never heals).
+    RtoGiveUp,
+    /// The absolute per-flow deadline (`flow_deadline`) passed before
+    /// the last byte was acknowledged.
+    Deadline,
+    /// An endpoint host was crashed by node-fault injection when the
+    /// give-up policy fired.
+    HostCrash,
+    /// The liveness watchdog declared a global stall and failed every
+    /// incomplete flow.
+    Stalled,
+    /// The run hit its stop time with the flow incomplete and no
+    /// give-up policy armed.
+    Unfinished,
+}
+
+impl FailReason {
+    /// Stable short label for reports and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailReason::RtoGiveUp => "rto-giveup",
+            FailReason::Deadline => "deadline",
+            FailReason::HostCrash => "host-crash",
+            FailReason::Stalled => "stalled",
+            FailReason::Unfinished => "unfinished",
+        }
+    }
+}
+
+/// Typed lifecycle outcome of one flow: every flow added to a run ends
+/// in exactly one of these, so hung flows can never silently vanish
+/// from the statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlowOutcome {
+    /// All bytes delivered; a matching [`FctRecord`] exists.
+    Completed,
+    /// The flow ended early; the record carries the partial byte count.
+    Failed(FailReason),
+}
+
+impl FlowOutcome {
+    #[inline]
+    pub fn is_failed(&self) -> bool {
+        matches!(self, FlowOutcome::Failed(_))
+    }
+}
+
+/// Per-flow lifecycle record in [`crate::sim::SimOutput::outcomes`]:
+/// one per flow that ended (completed or failed), with the bytes the
+/// sender had confirmed delivered when it ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutcomeRecord {
+    pub flow: FlowId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub size_bytes: u64,
+    /// Bytes cumulatively acknowledged (completed flows: `size_bytes`).
+    pub bytes_acked: u64,
+    pub start: Time,
+    /// Sim time the outcome was decided (completion or failure).
+    pub ended: Time,
+    pub outcome: FlowOutcome,
+}
+
 /// Completion record for one flow.
 #[derive(Clone, Copy, Debug)]
 pub struct FctRecord {

@@ -9,7 +9,7 @@
 
 use crate::cc::{clamp_rate, AckView, ReceiverCc, SenderCc};
 use crate::densemap::DenseMap;
-use crate::flow::{FctRecord, FlowPath, FlowSpec};
+use crate::flow::{FailReason, FctRecord, FlowPath, FlowSpec};
 use crate::packet::{Packet, PacketKind, PktPool};
 use crate::types::{FlowId, LinkId, NodeId};
 #[cfg(test)]
@@ -48,6 +48,14 @@ pub struct SendFlow {
     /// bytes can still be unacknowledged.
     pub rto_at: Option<Time>,
     pub done: bool,
+    /// The give-up policy abandoned this flow; it transmits nothing
+    /// further and its RTO chain is dead. Mutually exclusive with
+    /// `done`.
+    pub failed: bool,
+    /// Consecutive no-progress RTO checks observed while already at
+    /// [`MAX_RTO_SHIFT`] — the give-up policy's counter. Reset by any
+    /// ACK progress.
+    pub stall_checks: u32,
     /// Count of go-back-N retransmissions triggered.
     pub retransmits: u64,
 }
@@ -66,7 +74,7 @@ impl SendFlow {
 
     /// Whether this flow could transmit at time `now` (ignoring pacing).
     fn sendable(&self) -> bool {
-        if self.done || self.bytes_sent >= self.spec.size_bytes {
+        if self.done || self.failed || self.bytes_sent >= self.spec.size_bytes {
             return false;
         }
         match self.cc.window_bytes() {
@@ -84,6 +92,19 @@ pub struct RecvFlow {
     /// Cumulative contiguous bytes received.
     pub expected: u64,
     pub complete: bool,
+}
+
+/// What an RTO check decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtoVerdict {
+    /// Stale event, finished flow, or a check that found progress:
+    /// nothing for the caller to do.
+    None,
+    /// A go-back-N rewind was performed; the caller kicks the uplink.
+    Retransmit,
+    /// The give-up policy fired: the flow is abandoned with this
+    /// reason, its RTO chain ends, and the caller records the outcome.
+    GiveUp(FailReason),
 }
 
 /// Result of asking the host for its next data packet.
@@ -137,6 +158,15 @@ pub struct Host {
     rr_cursor: usize,
     /// Mirror of the earliest scheduled HostWake, to dedup events.
     pub wake_at: Option<Time>,
+    /// Cumulative in-order bytes accepted by this host's receivers —
+    /// the liveness watchdog's progress signal.
+    pub delivered_bytes: u64,
+    /// Give-up policy: consecutive no-progress RTO checks at max
+    /// backoff before a flow is abandoned (0 = never give up).
+    giveup_rto_limit: u32,
+    /// Give-up policy: absolute deadline from each flow's start time
+    /// (0 = no deadline). Enforced at RTO-check granularity.
+    flow_deadline: Time,
 }
 
 impl Host {
@@ -150,7 +180,17 @@ impl Host {
             rr: Vec::new(),
             rr_cursor: 0,
             wake_at: None,
+            delivered_bytes: 0,
+            giveup_rto_limit: 0,
+            flow_deadline: 0,
         }
+    }
+
+    /// Arm the give-up policy (both knobs 0 by default: pre-existing
+    /// retry-forever behavior, bit-identical to builds without it).
+    pub fn set_giveup(&mut self, rto_limit: u32, deadline: Time) {
+        self.giveup_rto_limit = rto_limit;
+        self.flow_deadline = deadline;
     }
 
     /// Register an outgoing flow. Returns the initial CC timer, if any.
@@ -176,6 +216,8 @@ impl Host {
             rto_shift: 0,
             rto_at: None,
             done: false,
+            failed: false,
+            stall_checks: 0,
             retransmits: 0,
         };
         self.send.insert(spec.id, Box::new(flow));
@@ -206,9 +248,10 @@ impl Host {
         self.recv.get(flow).map(|b| b.as_ref())
     }
 
-    /// Number of still-active (not fully acked) sending flows.
+    /// Number of still-active (not fully acked, not abandoned) sending
+    /// flows.
     pub fn active_send_flows(&self) -> usize {
-        self.send.values().filter(|f| !f.done).count()
+        self.send.values().filter(|f| !f.done && !f.failed).count()
     }
 
     /// Pick the next data packet under pacing/window constraints.
@@ -283,6 +326,7 @@ impl Host {
         // the sender recovers the exceptions).
         if pkt.seq == rf.expected {
             rf.expected += pkt.payload as u64;
+            self.delivered_bytes += pkt.payload as u64;
         }
         let fields = rf.cc.on_data(pkt, now);
         let mut ack = Packet::ack_for(pool.next_id(), pkt, rf.expected, now);
@@ -316,9 +360,15 @@ impl Host {
         let Some(f) = self.send.get_mut(pkt.flow) else {
             return out;
         };
+        if f.failed {
+            // An abandoned flow ignores stragglers: accepting one would
+            // re-arm supervision on a flow already reported Failed.
+            return out;
+        }
         let progressed = pkt.seq > f.bytes_acked;
         if progressed {
             f.bytes_acked = pkt.seq;
+            f.stall_checks = 0;
         }
         // A time-inverted echo (send timestamp ahead of the arrival
         // clock) means the fabric delivered a packet before it was sent;
@@ -420,49 +470,83 @@ impl Host {
     }
 
     /// An RTO check event fired at `now`. Returns
-    /// `(retransmitted, next check time)`; the caller kicks the uplink
-    /// on retransmission and schedules the next check.
+    /// `(verdict, next check time)`; the caller kicks the uplink on
+    /// [`RtoVerdict::Retransmit`], records the failure on
+    /// [`RtoVerdict::GiveUp`], and schedules the next check.
     ///
     /// Stale events (superseded by a pulled-in check after ACK
     /// progress) are identified by the `rto_at` mirror and ignored. A
     /// no-progress interval with bytes outstanding triggers a go-back-N
     /// rewind and doubles the interval, up to [`MAX_RTO_SHIFT`]; the
     /// chain re-arms itself as long as the flow is live, so a flow that
-    /// went idle behind a flap window keeps being supervised.
-    pub fn on_rto_check(&mut self, flow: FlowId, now: Time) -> (bool, Option<Time>) {
+    /// went idle behind a flap window keeps being supervised. With the
+    /// give-up policy armed, a flow that exhausts its deadline or sees
+    /// `giveup_rto_limit` consecutive no-progress checks at max backoff
+    /// is abandoned instead: the chain ends (next time `None`) and the
+    /// flow neither sends nor reacts to stragglers again.
+    pub fn on_rto_check(&mut self, flow: FlowId, now: Time) -> (RtoVerdict, Option<Time>) {
+        let (limit, deadline) = (self.giveup_rto_limit, self.flow_deadline);
         let Some(f) = self.send.get_mut(flow) else {
-            return (false, None);
+            return (RtoVerdict::None, None);
         };
         if f.rto_at != Some(now) {
-            return (false, None); // stale event
+            return (RtoVerdict::None, None); // stale event
         }
         f.rto_at = None;
-        if f.done {
-            return (false, None);
+        if f.done || f.failed {
+            return (RtoVerdict::None, None);
+        }
+        // The absolute deadline outranks everything else: it fires even
+        // for a flow making (too slow) progress.
+        if deadline > 0 && now >= f.spec.start.saturating_add(deadline) {
+            f.failed = true;
+            return (RtoVerdict::GiveUp(FailReason::Deadline), None);
         }
         let progressed = f.bytes_acked > f.rto_progress;
         f.rto_progress = f.bytes_acked;
-        let mut retx = false;
+        let mut verdict = RtoVerdict::None;
         if !progressed && f.inflight() > 0 {
+            // Already backed off to the cap and still nothing moved: one
+            // more strike toward giving up.
+            if f.rto_shift >= MAX_RTO_SHIFT {
+                f.stall_checks += 1;
+                if limit > 0 && f.stall_checks >= limit {
+                    f.failed = true;
+                    return (RtoVerdict::GiveUp(FailReason::RtoGiveUp), None);
+                }
+            }
             // No progress for a full RTO with bytes outstanding: rewind
             // and back off exponentially.
             f.bytes_sent = f.bytes_acked;
             f.next_avail = now;
             f.retransmits += 1;
             f.rto_shift = (f.rto_shift + 1).min(MAX_RTO_SHIFT);
-            retx = true;
+            verdict = RtoVerdict::Retransmit;
         }
         let at = now + f.rto_interval();
         f.rto_at = Some(at);
-        (retx, Some(at))
+        (verdict, Some(at))
     }
 
     /// Current RTO interval of a flow still under supervision.
     pub fn needs_rto(&self, flow: FlowId) -> Option<Time> {
         self.send
             .get(flow)
-            .filter(|f| !f.done)
+            .filter(|f| !f.done && !f.failed)
             .map(|f| f.rto_interval())
+    }
+
+    /// Abandon a live sending flow from outside (the watchdog's
+    /// stall-failure path): it stops sending, ignores stragglers, and
+    /// its RTO chain dies at the next (now stale) check. No-op on a
+    /// flow that is already done or failed.
+    pub fn abandon_flow(&mut self, flow: FlowId) {
+        if let Some(f) = self.send.get_mut(flow) {
+            if !f.done && !f.failed {
+                f.failed = true;
+                f.rto_at = None;
+            }
+        }
     }
 
     /// Remove completed flows from the round-robin ring (cheap GC called
@@ -478,7 +562,7 @@ impl Host {
         let mut kept_before_cursor = 0;
         for i in 0..self.rr.len() {
             let f = self.rr[i];
-            if self.send.get(f).is_some_and(|s| !s.done) {
+            if self.send.get(f).is_some_and(|s| !s.done && !s.failed) {
                 self.rr[kept] = f;
                 if i < old_cursor {
                     kept_before_cursor += 1;
@@ -530,6 +614,12 @@ impl Host {
                 f.spec.id,
                 f.bytes_acked,
                 size
+            );
+            assert!(
+                !(f.done && f.failed),
+                "AUDIT VIOLATION: host {:?} flow {:?} both done and failed",
+                self.id,
+                f.spec.id
             );
         }
         for rf in self.recv.values() {
@@ -713,8 +803,8 @@ mod tests {
         // First check records progress baseline (bytes_acked==0 initially
         // equals rto_progress==0 → "no progress" with inflight → rewind).
         let at = h.arm_rto(FlowId(0), 0).unwrap();
-        let (retx, next) = h.on_rto_check(FlowId(0), at);
-        assert!(retx);
+        let (verdict, next) = h.on_rto_check(FlowId(0), at);
+        assert_eq!(verdict, RtoVerdict::Retransmit);
         assert!(next.is_some(), "chain must re-arm after a rewind");
         assert_eq!(h.send_flow(FlowId(0)).unwrap().bytes_sent, 0);
         assert_eq!(h.send_flow(FlowId(0)).unwrap().retransmits, 1);
@@ -728,12 +818,13 @@ mod tests {
         let at = h.arm_rto(FlowId(0), 0).unwrap();
         // An event at a time the mirror doesn't expect is stale: no
         // rewind, no rescheduling (the real chain stays pending).
-        let (retx, next) = h.on_rto_check(FlowId(0), at + 1);
-        assert!(!retx && next.is_none());
+        let (verdict, next) = h.on_rto_check(FlowId(0), at + 1);
+        assert_eq!(verdict, RtoVerdict::None);
+        assert!(next.is_none());
         assert_eq!(h.send_flow(FlowId(0)).unwrap().rto_at, Some(at));
         // The genuine event still fires.
-        let (retx, _) = h.on_rto_check(FlowId(0), at);
-        assert!(retx);
+        let (verdict, _) = h.on_rto_check(FlowId(0), at);
+        assert_eq!(verdict, RtoVerdict::Retransmit);
     }
 
     #[test]
@@ -746,8 +837,8 @@ mod tests {
         assert_eq!(at, base);
         let mut intervals = Vec::new();
         for _ in 0..7 {
-            let (retx, next) = h.on_rto_check(FlowId(0), at);
-            assert!(retx, "stalled flow rewinds every time");
+            let (verdict, next) = h.on_rto_check(FlowId(0), at);
+            assert_eq!(verdict, RtoVerdict::Retransmit, "stalled flow rewinds");
             let next = next.unwrap();
             intervals.push(next - at);
             // Go-back-N resend so bytes stay in flight for the next check.
@@ -782,8 +873,8 @@ mod tests {
         // Three stalls (resending after each rewind): shift = 3, next
         // check far out.
         for _ in 0..3 {
-            let (retx, next) = h.on_rto_check(FlowId(0), at);
-            assert!(retx);
+            let (verdict, next) = h.on_rto_check(FlowId(0), at);
+            assert_eq!(verdict, RtoVerdict::Retransmit);
             match h.next_data_packet(at, &mut pool) {
                 HostTx::Packet(_) => {}
                 _ => panic!(),
@@ -802,8 +893,131 @@ mod tests {
         assert_eq!(out.rto_check, Some((FlowId(0), now + f.rto_base)));
         assert_eq!(f.rto_at, Some(now + f.rto_base));
         // The old (superseded) event is now stale.
-        let (retx, next) = h.on_rto_check(FlowId(0), at);
-        assert!(!retx && next.is_none());
+        let (verdict, next) = h.on_rto_check(FlowId(0), at);
+        assert_eq!(verdict, RtoVerdict::None);
+        assert!(next.is_none());
+    }
+
+    /// With the give-up policy armed, a flow that keeps striking out at
+    /// max backoff is abandoned with a dead RTO chain — and stragglers
+    /// can no longer resurrect it.
+    #[test]
+    fn giveup_fires_after_limit_strikes_at_max_shift() {
+        let mut h = host_with_flow(25e9, 10_000);
+        h.set_giveup(3, 0);
+        let mut pool = PktPool::default();
+        let p1 = match h.next_data_packet(0, &mut pool) {
+            HostTx::Packet(p) => p,
+            _ => panic!(),
+        };
+        let mut at = h.arm_rto(FlowId(0), 0).unwrap();
+        let mut strikes = 0;
+        let reason = loop {
+            let (verdict, next) = h.on_rto_check(FlowId(0), at);
+            match verdict {
+                RtoVerdict::Retransmit => {
+                    if h.send_flow(FlowId(0)).unwrap().rto_shift >= MAX_RTO_SHIFT {
+                        strikes += 1;
+                    }
+                    match h.next_data_packet(at, &mut pool) {
+                        HostTx::Packet(_) => {}
+                        _ => panic!("rewound flow must resend"),
+                    }
+                    at = next.unwrap();
+                }
+                RtoVerdict::GiveUp(r) => break r,
+                RtoVerdict::None => panic!("no stale events in this loop"),
+            }
+            assert!(strikes < 10, "give-up never fired");
+        };
+        assert_eq!(reason, FailReason::RtoGiveUp);
+        let f = h.send_flow(FlowId(0)).unwrap();
+        assert!(f.failed && !f.done);
+        assert_eq!(f.stall_checks, 3);
+        assert!(f.rto_at.is_none(), "chain must end on give-up");
+        assert!(h.needs_rto(FlowId(0)).is_none());
+        assert_eq!(h.active_send_flows(), 0);
+        // A straggler ACK does not resurrect the abandoned flow.
+        let ack = Packet::ack_for(99, &p1, 1000, at + MS);
+        let out = h.on_ack(&ack, at + MS);
+        assert!(out.rto_check.is_none() && !out.sender_done);
+        assert!(!h.send_flow(FlowId(0)).unwrap().done);
+        // And GC removes it from the arbiter ring.
+        h.gc_finished();
+        assert!(matches!(
+            h.next_data_packet(at + 2 * MS, &mut pool),
+            HostTx::Idle
+        ));
+    }
+
+    #[test]
+    fn progress_resets_the_giveup_counter() {
+        let mut h = host_with_flow(25e9, 10_000);
+        h.set_giveup(2, 0);
+        let mut pool = PktPool::default();
+        let p1 = match h.next_data_packet(0, &mut pool) {
+            HostTx::Packet(p) => p,
+            _ => panic!(),
+        };
+        let mut at = h.arm_rto(FlowId(0), 0).unwrap();
+        // Drive to max shift plus one strike (one short of the limit).
+        for _ in 0..MAX_RTO_SHIFT + 1 {
+            let (verdict, next) = h.on_rto_check(FlowId(0), at);
+            assert_eq!(verdict, RtoVerdict::Retransmit);
+            match h.next_data_packet(at, &mut pool) {
+                HostTx::Packet(_) => {}
+                _ => panic!(),
+            }
+            at = next.unwrap();
+        }
+        assert_eq!(h.send_flow(FlowId(0)).unwrap().stall_checks, 1);
+        // Progress wipes the strike count.
+        let ack = Packet::ack_for(99, &p1, 1000, at - 1);
+        let out = h.on_ack(&ack, at - 1);
+        assert_eq!(h.send_flow(FlowId(0)).unwrap().stall_checks, 0);
+        if let Some((_, t)) = out.rto_check {
+            at = t;
+        }
+        let (verdict, _) = h.on_rto_check(FlowId(0), at);
+        assert_eq!(
+            verdict,
+            RtoVerdict::None,
+            "the progressed interval is not a strike"
+        );
+    }
+
+    #[test]
+    fn deadline_fires_even_with_progress() {
+        let mut h = host_with_flow(25e9, 1_000_000);
+        h.set_giveup(0, 10 * MS);
+        let mut pool = PktPool::default();
+        let mut at = h.arm_rto(FlowId(0), 0).unwrap();
+        let mut acked = 0u64;
+        let reason = loop {
+            assert!(at < SEC, "deadline never fired");
+            // Keep the flow trickling: progress before every check.
+            let _ = h.next_data_packet(h.send_flow(FlowId(0)).unwrap().next_avail, &mut pool);
+            acked += 1000;
+            let d = Packet::data(1, FlowId(0), NodeId(0), NodeId(1), 0, 1000, 0);
+            let ack = Packet::ack_for(2, &d, acked, at - 1);
+            let out = h.on_ack(&ack, at - 1);
+            if let Some((_, t)) = out.rto_check {
+                at = t;
+            }
+            match h.on_rto_check(FlowId(0), at) {
+                (RtoVerdict::GiveUp(r), next) => {
+                    assert!(next.is_none());
+                    break r;
+                }
+                (_, Some(t)) => at = t,
+                (v, None) => panic!("chain died without give-up: {v:?}"),
+            }
+        };
+        assert_eq!(reason, FailReason::Deadline);
+        assert!(at >= 10 * MS, "deadline cannot fire early");
+        let f = h.send_flow(FlowId(0)).unwrap();
+        assert!(f.failed);
+        assert_eq!(f.bytes_acked, acked, "partial bytes preserved");
     }
 
     #[test]

@@ -75,8 +75,8 @@ pub mod prelude {
     pub use crate::config::{DciFeatures, SimConfig};
     pub use crate::densemap::{DenseKey, DenseMap};
     pub use crate::ecn::EcnConfig;
-    pub use crate::fault::{FaultProfile, FaultState, FlapWindow, GilbertElliott};
-    pub use crate::flow::{FctRecord, FlowPath, FlowSpec};
+    pub use crate::fault::{FaultProfile, FaultState, FlapWindow, GilbertElliott, NodeFault};
+    pub use crate::flow::{FailReason, FctRecord, FlowOutcome, FlowPath, FlowSpec, OutcomeRecord};
     pub use crate::int::{HopHistory, IntHop, IntStack};
     pub use crate::link::LinkOpts;
     pub use crate::monitor::{MonitorLog, MonitorSpec, Sample};
@@ -86,7 +86,7 @@ pub mod prelude {
     pub use crate::shard::{
         partition_components, run_sharded, run_single_canonical, ShardCtx, ShardedOutput,
     };
-    pub use crate::sim::{SimOutput, Simulator};
+    pub use crate::sim::{SimOutput, Simulator, WatchdogReport};
     pub use crate::switch::SwitchKind;
     pub use crate::topology::{
         DumbbellParams, DumbbellTopology, NetBuilder, Network, TwoDcParams, TwoDcTopology,

@@ -93,6 +93,16 @@ impl Link {
             + self.pfq.as_ref().map_or(0, |p| p.total_bytes())
     }
 
+    /// Remove every packet parked at this egress (priority FIFOs and,
+    /// when present, the per-flow queue set), handing each to `f` —
+    /// the crash path when this link's source node fails.
+    pub fn drain_queued(&mut self, mut f: impl FnMut(Box<crate::packet::Packet>)) {
+        self.queues.drain_all(&mut f);
+        if let Some(pfq) = &mut self.pfq {
+            pfq.drain_all(&mut f);
+        }
+    }
+
     /// Visit every packet parked at this egress — priority FIFOs and,
     /// when present, the per-flow queue set (the auditor's census).
     #[cfg(feature = "audit")]

@@ -283,6 +283,24 @@ impl PfqSet {
         }
     }
 
+    /// Remove and yield every queued packet across all per-flow queues
+    /// — the crash path for a failed DCI switch. Drained packets count
+    /// as dequeued in the lifetime ledgers so byte accounting stays
+    /// balanced; tokens and rates are untouched for a potential
+    /// restart.
+    pub fn drain_all(&mut self, mut f: impl FnMut(Box<Packet>)) {
+        for st in self.flows.iter_mut().flatten() {
+            while let Some(pkt) = st.queue.pop_front() {
+                let size = pkt.size as u64;
+                st.bytes -= size;
+                st.dequeued_bytes += size;
+                self.total_bytes -= size;
+                f(pkt);
+            }
+        }
+        self.active.clear();
+    }
+
     /// Total bytes across all virtual queues.
     #[inline]
     pub fn total_bytes(&self) -> u64 {

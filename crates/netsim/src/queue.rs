@@ -82,6 +82,19 @@ impl PrioQueues {
         self.queues.iter().all(|q| q.is_empty())
     }
 
+    /// Remove and yield every queued packet regardless of pause state,
+    /// highest priority class first — the crash path for a failed
+    /// switch, whose buffers hold nothing once it dies. Byte accounting
+    /// is zeroed; pause state is left as-is for a potential restart.
+    pub fn drain_all(&mut self, mut f: impl FnMut(Box<Packet>)) {
+        for p in 0..NUM_PRIORITIES {
+            self.bytes[p] = 0;
+            while let Some(pkt) = self.queues[p].pop_front() {
+                f(pkt);
+            }
+        }
+    }
+
     /// Visit every queued packet, highest priority class first, FIFO
     /// within a class (the auditor's drain-time census).
     #[cfg(feature = "audit")]

@@ -64,7 +64,7 @@ use std::sync::{Barrier, Mutex};
 use crate::flow::FlowSpec;
 use crate::link::Link;
 use crate::packet::Packet;
-use crate::sim::{SimOutput, Simulator};
+use crate::sim::{SimOutput, Simulator, WatchdogReport};
 use crate::trace::{TraceEvent, TraceRecord};
 use crate::types::{LinkId, NodeId};
 use crate::units::Time;
@@ -184,6 +184,16 @@ struct Exchange {
     /// Next runnable event time per shard (`u64::MAX` = none within
     /// `stop_time`), republished at every barrier.
     slots: Vec<AtomicU64>,
+    /// Liveness-watchdog consensus inputs, republished per shard at
+    /// every barrier alongside `slots`. Shards combine them at window
+    /// start: progress is the max, the counters are sums, and every
+    /// shard derives the identical stall verdict from the identical
+    /// published snapshot (see [`run_one_shard`]).
+    progress_at: Vec<AtomicU64>,
+    delivered: Vec<AtomicU64>,
+    completed: Vec<AtomicU64>,
+    giveups: Vec<AtomicU64>,
+    pfc: Vec<AtomicU64>,
     barrier: Barrier,
 }
 
@@ -193,6 +203,18 @@ fn next_runnable(sim: &mut Simulator) -> u64 {
         Some(t) if t <= sim.cfg.stop_time => t,
         _ => u64::MAX,
     }
+}
+
+/// Publish this shard's slot and watchdog-consensus snapshot. Must run
+/// before the barrier that opens the next window, so every shard reads
+/// a consistent fabric-wide view.
+fn publish_state(sim: &mut Simulator, ex: &Exchange, sidx: usize) {
+    ex.slots[sidx].store(next_runnable(sim), Ordering::SeqCst);
+    ex.progress_at[sidx].store(sim.last_progress_at, Ordering::SeqCst);
+    ex.delivered[sidx].store(sim.delivered_total, Ordering::SeqCst);
+    ex.completed[sidx].store(sim.out.fcts.len() as u64, Ordering::SeqCst);
+    ex.giveups[sidx].store(sim.giveup_count, Ordering::SeqCst);
+    ex.pfc[sidx].store(sim.out.pfc_events.len() as u64, Ordering::SeqCst);
 }
 
 /// Run a scenario sharded across `n_shards` threads and merge the
@@ -227,6 +249,11 @@ where
     let ex = Exchange {
         queues: (0..s * s).map(|_| Mutex::new(Vec::new())).collect(),
         slots: (0..s).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        progress_at: (0..s).map(|_| AtomicU64::new(0)).collect(),
+        delivered: (0..s).map(|_| AtomicU64::new(0)).collect(),
+        completed: (0..s).map(|_| AtomicU64::new(0)).collect(),
+        giveups: (0..s).map(|_| AtomicU64::new(0)).collect(),
+        pfc: (0..s).map(|_| AtomicU64::new(0)).collect(),
         barrier: Barrier::new(s),
     };
     let results: Vec<ShardResult> = std::thread::scope(|sc| {
@@ -316,7 +343,10 @@ where
     setup(&mut sim);
 
     let (sidx, s) = (me as usize, n_shards as usize);
-    ex.slots[sidx].store(next_runnable(&mut sim), Ordering::SeqCst);
+    let wd = sim.cfg.watchdog_window;
+    let n_flows = sim.flows.len() as u64;
+    let mut wd_fired = false;
+    publish_state(&mut sim, ex, sidx);
     ex.barrier.wait();
     loop {
         // Every thread reads the same published slots, so every thread
@@ -330,7 +360,41 @@ where
         if gmin == u64::MAX {
             break;
         }
-        let w_end = gmin.saturating_add(lookahead);
+        let mut w_end = gmin.saturating_add(lookahead);
+        // Liveness watchdog, sharded consensus. Every shard reads the
+        // same published snapshot, so every shard computes the same
+        // deadline and the same verdict. While flows are outstanding
+        // the window is capped at `deadline + 1` (never empty: the
+        // cap only applies when `gmin ≤ deadline`), guaranteeing a
+        // barrier lands exactly when every event `≤ deadline` has run
+        // — the same instant the single-threaded engine declares at.
+        // Extra barriers are observationally neutral: windows only
+        // partition event processing.
+        if wd > 0 && !wd_fired {
+            fn load(v: &[AtomicU64]) -> impl Iterator<Item = u64> + '_ {
+                v.iter().map(|a| a.load(Ordering::SeqCst))
+            }
+            let last_prog = load(&ex.progress_at).max().expect("at least one shard");
+            let completed: u64 = load(&ex.completed).sum();
+            let giveups: u64 = load(&ex.giveups).sum();
+            let unfinished = n_flows.saturating_sub(completed + giveups);
+            let deadline = last_prog + wd;
+            if unfinished > 0 {
+                if gmin > deadline {
+                    wd_fired = true;
+                    sim.declare_stall(WatchdogReport {
+                        stalled_at: deadline,
+                        last_progress_at: last_prog,
+                        window: wd,
+                        unfinished_flows: unfinished as u32,
+                        delivered_bytes: load(&ex.delivered).sum(),
+                        pfc_pauses: load(&ex.pfc).sum(),
+                    });
+                } else {
+                    w_end = w_end.min(deadline + 1);
+                }
+            }
+        }
         sim.run_window(w_end);
         // Publish this window's boundary packets, then rendezvous so
         // every send is visible before anyone drains.
@@ -353,7 +417,7 @@ where
                 sim.deliver_boundary(bp);
             }
         }
-        ex.slots[sidx].store(next_runnable(&mut sim), Ordering::SeqCst);
+        publish_state(&mut sim, ex, sidx);
         ex.barrier.wait();
     }
     sim.finalize_shard();
@@ -383,7 +447,11 @@ fn trace_component(ev: &TraceEvent, flows: &[FlowSpec], link_src: &[NodeId], com
         TraceEvent::PacketDropped { at, .. }
         | TraceEvent::PfcPause { at, .. }
         | TraceEvent::PfcResume { at, .. } => comp[at.index()],
-        TraceEvent::Retransmit { flow, .. } => comp[flows[flow.index()].src.index()],
+        TraceEvent::Retransmit { flow, .. } | TraceEvent::FlowFailed { flow, .. } => {
+            comp[flows[flow.index()].src.index()]
+        }
+        TraceEvent::NodeDown { node } | TraceEvent::NodeUp { node } => comp[node.index()],
+        TraceEvent::PacketBlackholed { at, .. } => comp[at.index()],
         TraceEvent::PfqCreated { link, .. }
         | TraceEvent::PacketLost { link, .. }
         | TraceEvent::LinkDown { link }
@@ -404,6 +472,7 @@ fn canonicalize(
 ) {
     out.fcts.sort_by_key(|r| (r.finish, comp[r.dst.index()]));
     out.pfc_events.sort_by_key(|&(t, n)| (t, comp[n.index()]));
+    out.outcomes.sort_by_key(|r| (r.ended, r.flow.0));
     trace.sort_by_key(|r| (r.t, trace_component(&r.event, flows, link_src, comp)));
 }
 
@@ -412,6 +481,7 @@ fn merge(mut results: Vec<ShardResult>) -> ShardedOutput {
     let link_src = std::mem::take(&mut results[0].link_src);
     let comp = std::mem::take(&mut results[0].comp);
     let partitions = comp.iter().copied().max().map_or(0, |m| m + 1);
+    let results_watchdog = results[0].out.watchdog;
 
     #[cfg(feature = "audit")]
     audit_merged_conservation(&results);
@@ -421,6 +491,7 @@ fn merge(mut results: Vec<ShardResult>) -> ShardedOutput {
     for r in &mut results {
         out.fcts.append(&mut r.out.fcts);
         out.pfc_events.append(&mut r.out.pfc_events);
+        out.outcomes.append(&mut r.out.outcomes);
         trace.append(&mut r.trace);
         out.events_processed += r.out.events_processed;
         out.events_scheduled += r.out.events_scheduled;
@@ -429,10 +500,27 @@ fn merge(mut results: Vec<ShardResult>) -> ShardedOutput {
         out.buffer_drops += r.out.buffer_drops;
         out.fault_drops += r.out.fault_drops;
         out.fault_jittered += r.out.fault_jittered;
+        out.blackhole_drops += r.out.blackhole_drops;
+        out.int_suppressed += r.out.int_suppressed;
         out.link_flaps += r.out.link_flaps;
         out.retransmits += r.out.retransmits;
         out.ecn_marks += r.out.ecn_marks;
+        // The stall verdict is a consensus decision: either every
+        // shard declared with the identical report or none did.
+        assert_eq!(
+            r.out.watchdog, results_watchdog,
+            "shard watchdog verdicts diverge"
+        );
     }
+    out.watchdog = results_watchdog;
+    // A cross-shard flow whose receiver completed but whose sender
+    // never learned (ACK path dead at the end of the run) yields two
+    // records: Completed at the destination shard, Failed at the
+    // source. Completion wins — every byte arrived — exactly as the
+    // single-threaded engine's end-slot replacement resolves it.
+    out.outcomes
+        .sort_by_key(|r| (r.flow.0, r.outcome.is_failed()));
+    out.outcomes.dedup_by_key(|r| r.flow.0);
     canonicalize(&mut out, &mut trace, &flows, &link_src, &comp);
     ShardedOutput {
         out,
@@ -461,18 +549,28 @@ fn audit_merged_conservation(results: &[ShardResult]) {
             t.0.buffer_drop_bytes += led.buffer_drop_bytes;
             t.0.fault_drop_pkts += led.fault_drop_pkts;
             t.0.fault_drop_bytes += led.fault_drop_bytes;
+            t.0.blackhole_drop_pkts += led.blackhole_drop_pkts;
+            t.0.blackhole_drop_bytes += led.blackhole_drop_bytes;
             t.1 += sp;
             t.2 += sb;
         }
     }
     for (i, (led, seen_pkts, seen_bytes)) in tot.iter().enumerate() {
-        let pkts = led.delivered_pkts + led.buffer_drop_pkts + led.fault_drop_pkts + seen_pkts;
-        let bytes = led.delivered_bytes + led.buffer_drop_bytes + led.fault_drop_bytes + seen_bytes;
+        let pkts = led.delivered_pkts
+            + led.buffer_drop_pkts
+            + led.fault_drop_pkts
+            + led.blackhole_drop_pkts
+            + seen_pkts;
+        let bytes = led.delivered_bytes
+            + led.buffer_drop_bytes
+            + led.fault_drop_bytes
+            + led.blackhole_drop_bytes
+            + seen_bytes;
         assert!(
             led.injected_pkts == pkts && led.injected_bytes == bytes,
             "AUDIT VIOLATION: cross-shard conservation broken for flow {i}: \
              injected {}p/{}B but delivered {}p/{}B + buffer-dropped {}p/{}B \
-             + fault-dropped {}p/{}B + in-flight {}p/{}B",
+             + fault-dropped {}p/{}B + blackholed {}p/{}B + in-flight {}p/{}B",
             led.injected_pkts,
             led.injected_bytes,
             led.delivered_pkts,
@@ -481,6 +579,8 @@ fn audit_merged_conservation(results: &[ShardResult]) {
             led.buffer_drop_bytes,
             led.fault_drop_pkts,
             led.fault_drop_bytes,
+            led.blackhole_drop_pkts,
+            led.blackhole_drop_bytes,
             seen_pkts,
             seen_bytes
         );

@@ -5,9 +5,9 @@
 use crate::cc::{CcEnv, CcFactory};
 use crate::config::{ConfigError, SimConfig};
 use crate::event::{boundary_seq, Event, EventQueue};
-use crate::fault::{FaultProfile, FaultState};
-use crate::flow::{FctRecord, FlowPath, FlowSpec};
-use crate::host::HostTx;
+use crate::fault::{FaultProfile, FaultState, NodeFault};
+use crate::flow::{FailReason, FctRecord, FlowOutcome, FlowPath, FlowSpec, OutcomeRecord};
+use crate::host::{HostTx, RtoVerdict};
 use crate::int::IntHop;
 use crate::monitor::{MonitorLog, MonitorSpec, Sample};
 use crate::node::Node;
@@ -21,11 +21,40 @@ use crate::trace::{Trace, TraceEvent};
 use crate::types::{FlowId, LinkId, NodeId, Priority};
 use crate::units::{tx_time, Time, US};
 
+/// The liveness watchdog's diagnostic: the run made no receiver
+/// progress for a full detection window while flows were outstanding.
+/// Deterministic — a stalled run produces the identical report at
+/// every shard count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// When the stall was declared: `last_progress_at + window`.
+    pub stalled_at: Time,
+    /// Last instant any receiver advanced its in-order byte count.
+    pub last_progress_at: Time,
+    /// The configured detection window.
+    pub window: Time,
+    /// Flows neither completed nor given up at declaration.
+    pub unfinished_flows: u32,
+    /// In-order bytes delivered fabric-wide at declaration.
+    pub delivered_bytes: u64,
+    /// PFC pause transitions observed fabric-wide at declaration.
+    pub pfc_pauses: u64,
+}
+
 /// Everything a run produces.
 #[derive(Default)]
 pub struct SimOutput {
     /// Completion records, in completion order.
     pub fcts: Vec<FctRecord>,
+    /// One terminal outcome per registered flow — completed or failed
+    /// with a typed reason and partial byte count — in `(ended, flow)`
+    /// order. Populated at finalize; a run never leaves a flow
+    /// unaccounted (flows still in flight at `stop_time` fail with
+    /// [`FailReason::Unfinished`]).
+    pub outcomes: Vec<OutcomeRecord>,
+    /// The liveness watchdog's verdict, if it declared a global stall
+    /// (requires `cfg.watchdog_window > 0`).
+    pub watchdog: Option<WatchdogReport>,
     /// (time, switch) of every PFC pause transition.
     pub pfc_events: Vec<(Time, NodeId)>,
     /// Periodic samples.
@@ -51,14 +80,37 @@ pub struct SimOutput {
     pub retransmits: u64,
     /// Data packets CE-marked at switch enqueue.
     pub ecn_marks: u64,
+    /// Packets discarded at (or inside) a crashed node: arrivals at a
+    /// down host or switch, and the buffered packets a switch drains
+    /// when it dies. Distinct from `fault_drops` (wire-level link
+    /// faults).
+    pub blackhole_drops: u64,
+    /// Telemetry actions suppressed by a control-plane outage: INT hop
+    /// insertions skipped and Switch-INT feedback opportunities not
+    /// taken while dark.
+    pub int_suppressed: u64,
 }
 
 impl SimOutput {
     /// All packet loss, regardless of cause.
     #[inline]
     pub fn total_dropped(&self) -> u64 {
-        self.buffer_drops + self.fault_drops
+        self.buffer_drops + self.fault_drops + self.blackhole_drops
     }
+
+    /// Outcome records of flows that did not complete.
+    pub fn failed(&self) -> impl Iterator<Item = &OutcomeRecord> {
+        self.outcomes.iter().filter(|o| o.outcome.is_failed())
+    }
+}
+
+/// A flow's terminal state: the per-flow slot behind
+/// [`SimOutput::outcomes`].
+#[derive(Clone, Copy)]
+struct FlowEnd {
+    ended: Time,
+    outcome: FlowOutcome,
+    acked: u64,
 }
 
 /// The simulator.
@@ -88,6 +140,32 @@ pub struct Simulator {
     /// recycling at its sink.
     pub pkt_pool: PktPool,
     pub out: SimOutput,
+    /// Node-level fault table, replicated on every shard so down-state
+    /// queries ([`Self::node_is_down`]) answer identically everywhere;
+    /// the crash/restart *actions* (buffer drain, traces) are events
+    /// owned by the crashed node's shard.
+    node_faults: Vec<NodeFault>,
+    /// Control-plane outage windows `[from, until)` — queried per
+    /// telemetry action, never event-driven, so they replicate freely.
+    ctrl_outages: Vec<(Time, Time)>,
+    /// Per-flow end-state slots, parallel to `flows`. A completion
+    /// replaces an earlier failure (see [`Self::note_flow_end`]).
+    flow_end: Vec<Option<FlowEnd>>,
+    /// `Some` slots in `flow_end` — the run-loop termination count.
+    ended_count: usize,
+    /// Flows whose *sender* saw its final ACK, parallel to `flows`.
+    /// Survives send-state GC; the finalize backfill uses it to avoid
+    /// mislabeling a delivered cross-shard flow as unfinished.
+    sender_done: Vec<bool>,
+    /// Monotone count of sender-side give-ups (never decremented, even
+    /// if a straggling completion later supersedes the failure): one
+    /// half of the watchdog's progress metric.
+    pub giveup_count: u64,
+    /// Sim time of the last in-order byte delivered at any receiver
+    /// this engine owns.
+    pub last_progress_at: Time,
+    /// In-order bytes delivered at receivers this engine owns.
+    pub delivered_total: u64,
     /// Optional flight recorder (see [`crate::trace`]). Off by default.
     pub trace: Option<Trace>,
     /// Fabric invariant auditor (see [`crate::audit`]). Observation-only:
@@ -145,12 +223,26 @@ impl Simulator {
             factory,
             pkt_pool: PktPool::default(),
             out: SimOutput::default(),
+            node_faults: Vec::new(),
+            ctrl_outages: Vec::new(),
+            flow_end: Vec::new(),
+            ended_count: 0,
+            sender_done: Vec::new(),
+            giveup_count: 0,
+            last_progress_at: 0,
+            delivered_total: 0,
             trace: None,
             #[cfg(feature = "audit")]
             audit: crate::audit::Auditor::new(n_links),
         };
         if sim.cfg.monitor_interval > 0 {
             sim.events.schedule(0, Event::MonitorTick);
+        }
+        let (limit, deadline) = (sim.cfg.giveup_rto_limit, sim.cfg.flow_deadline);
+        for n in &mut sim.nodes {
+            if let Some(h) = n.as_host_mut() {
+                h.set_giveup(limit, deadline);
+            }
         }
         Ok(sim)
     }
@@ -191,7 +283,9 @@ impl Simulator {
     /// see [`crate::fault`] for the full determinism contract. Inert
     /// profiles are ignored entirely.
     pub fn inject_link_faults(&mut self, link: LinkId, profile: FaultProfile) {
-        profile.validate();
+        if let Err(e) = profile.validate() {
+            panic!("invalid fault profile: {e}");
+        }
         if !profile.is_active() {
             return;
         }
@@ -209,6 +303,74 @@ impl Simulator {
         }
         let st = FaultState::new(profile, self.cfg.seed, link.0 as u64);
         self.links[link.index()].faults = Some(Box::new(st));
+    }
+
+    /// Schedule a node-level fault — a host or switch crash, with an
+    /// optional restart (call before running).
+    ///
+    /// The fault table is replicated on every shard (down-state queries
+    /// must answer identically everywhere), but the crash/restart
+    /// *actions* — buffer drain, trace records — are events owned by
+    /// the crashed node's shard, so they fire exactly once per run at
+    /// any shard count.
+    pub fn inject_node_fault(&mut self, fault: NodeFault) {
+        if let Err(e) = fault.validate() {
+            panic!("invalid node fault: {e}");
+        }
+        assert!(
+            fault.node.index() < self.nodes.len(),
+            "node fault targets nonexistent {}",
+            fault.node
+        );
+        if self.owns_node(fault.node) {
+            self.events.schedule(
+                fault.down_at,
+                Event::NodeFault {
+                    node: fault.node,
+                    down: true,
+                },
+            );
+            if let Some(up) = fault.up_at {
+                self.events.schedule(
+                    up,
+                    Event::NodeFault {
+                        node: fault.node,
+                        down: false,
+                    },
+                );
+            }
+        }
+        self.node_faults.push(fault);
+    }
+
+    /// Make the fabric's telemetry control plane dark over
+    /// `[from, until)`: no INT hop records are inserted and no
+    /// Switch-INT feedback is generated anywhere while dark. Data,
+    /// ACKs, and PFQ credit stamps still flow — they are data-plane
+    /// state. Purely table-driven (no events), so the window
+    /// replicates freely across shards; each suppression is counted
+    /// once, at the egress that would have telemetered.
+    pub fn inject_ctrl_outage(&mut self, from: Time, until: Time) {
+        assert!(from < until, "empty control-plane outage window");
+        self.ctrl_outages.push((from, until));
+    }
+
+    /// Whether the telemetry control plane is dark at `now`.
+    #[inline]
+    pub fn ctrl_dark(&self, now: Time) -> bool {
+        self.ctrl_outages.iter().any(|&(f, u)| f <= now && now < u)
+    }
+
+    /// Whether node-fault injection has `node` crashed at `now` —
+    /// inclusive of `down_at`, exclusive of `up_at`. Answered from the
+    /// replicated fault table (never from event state), so any shard
+    /// can ask about any node and all agree, independent of same-time
+    /// event ordering.
+    #[inline]
+    pub fn node_is_down(&self, node: NodeId, now: Time) -> bool {
+        self.node_faults
+            .iter()
+            .any(|nf| nf.node == node && nf.down_at <= now && nf.up_at.is_none_or(|u| now < u))
     }
 
     #[inline]
@@ -266,6 +428,8 @@ impl Simulator {
             start,
         };
         self.flows.push(spec);
+        self.flow_end.push(None);
+        self.sender_done.push(false);
         let path = self.resolve_path(&spec);
         self.paths.push(Some(path));
         let env = CcEnv {
@@ -422,10 +586,13 @@ impl Simulator {
         self.finalize();
     }
 
-    /// Run until every registered flow has completed (or `stop_time`).
-    /// Returns true when all flows completed.
+    /// Run until every registered flow has reached a terminal outcome —
+    /// completed *or* failed (give-up policy, deadline, crash,
+    /// watchdog) — or `stop_time` passes. Returns true when every flow
+    /// **completed**; the per-flow verdicts are in
+    /// [`SimOutput::outcomes`] either way.
     pub fn run_until_flows_complete(&mut self) -> bool {
-        while self.out.fcts.len() < self.flows.len() {
+        while self.ended_count < self.flows.len() {
             let Some(t) = self.events.peek_time() else {
                 break;
             };
@@ -464,10 +631,217 @@ impl Simulator {
             .filter_map(|n| n.as_host())
             .map(|h| h.total_retransmits())
             .sum();
+        self.backfill_unfinished();
+        self.out.outcomes.clear();
+        for (i, end) in self.flow_end.iter().enumerate() {
+            let Some(e) = end else { continue };
+            let spec = self.flows[i];
+            self.out.outcomes.push(OutcomeRecord {
+                flow: spec.id,
+                src: spec.src,
+                dst: spec.dst,
+                size_bytes: spec.size_bytes,
+                bytes_acked: if e.outcome == FlowOutcome::Completed {
+                    spec.size_bytes
+                } else {
+                    e.acked
+                },
+                start: spec.start,
+                ended: e.ended,
+                outcome: e.outcome,
+            });
+        }
+        self.out.outcomes.sort_by_key(|r| (r.ended, r.flow.0));
+        #[cfg(feature = "audit")]
+        self.audit_watchdog_check();
+    }
+
+    /// Close out every flow with no recorded end: it neither completed
+    /// nor failed before the run stopped. Only the shard owning the
+    /// sender reports — the shard owning the receiver of a delivered
+    /// cross-shard flow holds the completion record instead, and the
+    /// merge keeps completions over failures.
+    fn backfill_unfinished(&mut self) {
+        for i in 0..self.flows.len() {
+            if self.flow_end[i].is_some() || self.sender_done[i] {
+                continue;
+            }
+            let spec = self.flows[i];
+            if !self.owns_node(spec.src) {
+                continue;
+            }
+            let acked = self.nodes[spec.src.index()]
+                .as_host()
+                .and_then(|h| h.send_flow(spec.id))
+                .map_or(0, |f| f.bytes_acked);
+            // Stamped at stop_time (not this engine's final `now`) so
+            // every shard count writes the identical record.
+            let at = self.cfg.stop_time;
+            if let Some(tr) = &mut self.trace {
+                tr.record(
+                    at,
+                    TraceEvent::FlowFailed {
+                        flow: spec.id,
+                        reason: FailReason::Unfinished,
+                        acked,
+                    },
+                );
+            }
+            self.note_flow_end(
+                spec.id,
+                at,
+                FlowOutcome::Failed(FailReason::Unfinished),
+                acked,
+            );
+        }
+    }
+
+    /// Flows not yet accounted finished: registered, minus receiver
+    /// completions, minus sender give-ups. Both engines compute this
+    /// from the same monotone counters, so the single-threaded and
+    /// sharded watchdogs reach the identical verdict. (A flow whose
+    /// receiver completes *after* its sender gave up is counted by
+    /// both counters and the metric under-counts by one —
+    /// deterministically, and only in a corner no healthy run
+    /// reaches.)
+    pub fn unfinished_metric(&self) -> u64 {
+        (self.flows.len() as u64).saturating_sub(self.out.fcts.len() as u64 + self.giveup_count)
+    }
+
+    /// Write a flow's end-state slot. First writer wins, with one
+    /// exception: a receiver-side completion replaces an earlier
+    /// sender-side failure — every byte was delivered; the sender
+    /// merely gave up before the last ACK reached it. Failures never
+    /// replace a completion.
+    fn note_flow_end(&mut self, flow: FlowId, ended: Time, outcome: FlowOutcome, acked: u64) {
+        let slot = &mut self.flow_end[flow.index()];
+        match slot {
+            None => {
+                *slot = Some(FlowEnd {
+                    ended,
+                    outcome,
+                    acked,
+                });
+                self.ended_count += 1;
+            }
+            Some(e) if e.outcome.is_failed() && outcome == FlowOutcome::Completed => {
+                *slot = Some(FlowEnd {
+                    ended,
+                    outcome,
+                    acked,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Record a sender-side failure: trace it, write the outcome slot
+    /// (unless the receiver already completed the flow — completion
+    /// wins), and prune the dead send state. The trace record is
+    /// stamped at `ended`, not the engine clock: during a sharded
+    /// stall declaration each shard's local `now` differs, but the
+    /// failure instant is a property of the scenario.
+    fn fail_flow(&mut self, flow: FlowId, reason: FailReason, ended: Time) {
+        let spec = self.flows[flow.index()];
+        let acked = self.nodes[spec.src.index()]
+            .as_host()
+            .and_then(|h| h.send_flow(flow))
+            .map_or(0, |f| f.bytes_acked);
+        if let Some(tr) = &mut self.trace {
+            tr.record(
+                ended,
+                TraceEvent::FlowFailed {
+                    flow,
+                    reason,
+                    acked,
+                },
+            );
+        }
+        self.note_flow_end(flow, ended, FlowOutcome::Failed(reason), acked);
+        if let Some(h) = self.nodes[spec.src.index()].as_host_mut() {
+            h.gc_finished();
+        }
+    }
+
+    /// Declare a global stall: record the watchdog report and fail
+    /// every unfinished started flow this engine owns, at the stall
+    /// time. The run then *continues* — remaining events (timers,
+    /// stragglers) still execute, so event accounting matches across
+    /// engines; the failed flows just no longer send.
+    pub(crate) fn declare_stall(&mut self, report: WatchdogReport) {
+        #[cfg(feature = "audit")]
+        if matches!(self.audit.chaos, Some(crate::audit::Chaos::MuteWatchdog)) {
+            return; // sabotage shim: swallow the verdict (fuzzer bait)
+        }
+        debug_assert!(self.out.watchdog.is_none(), "the watchdog fires once");
+        self.out.watchdog = Some(report);
+        for i in 0..self.flows.len() {
+            let spec = self.flows[i];
+            if self.flow_end[i].is_some() || self.sender_done[i] {
+                continue; // already ended, or delivered (record at dst)
+            }
+            if !self.owns_node(spec.src) {
+                continue; // the owning shard fails it, same report
+            }
+            if spec.start > report.stalled_at {
+                continue; // not yet started at the stall point
+            }
+            if let Some(h) = self.nodes[spec.src.index()].as_host_mut() {
+                h.abandon_flow(spec.id);
+            }
+            self.fail_flow(spec.id, FailReason::Stalled, report.stalled_at);
+        }
+    }
+
+    /// Audit-mode cross-check: with the watchdog armed, a run that in
+    /// fact stalled (no receiver progress for a full window with flows
+    /// outstanding) must have produced a report — catches a muted or
+    /// suppressed watchdog (see [`crate::audit::Chaos::MuteWatchdog`]).
+    /// Single-engine only: one shard cannot judge global progress by
+    /// itself; the sharded merge compares shard verdicts instead.
+    #[cfg(feature = "audit")]
+    fn audit_watchdog_check(&self) {
+        if self.shard.is_some() || self.cfg.watchdog_window == 0 || self.out.watchdog.is_some() {
+            return;
+        }
+        let deadline = self.last_progress_at + self.cfg.watchdog_window;
+        if self.now > deadline && self.unfinished_metric() > 0 {
+            panic!(
+                "AUDIT VIOLATION: no receiver progress since {} (window {}, now {}) \
+                 with {} unfinished flows, but the watchdog never reported",
+                self.last_progress_at,
+                self.cfg.watchdog_window,
+                self.now,
+                self.unfinished_metric()
+            );
+        }
     }
 
     /// Process one event.
     pub fn step(&mut self) {
+        // Liveness watchdog, single-threaded engine (a sharded run
+        // reaches the same verdict by consensus at window barriers —
+        // see `shard::run_one_shard`). Checked against the *next*
+        // event time before popping: the stall is declared at exactly
+        // `last_progress_at + window`, before any later event runs, so
+        // the report and failure timestamps are identical at every
+        // shard count.
+        if self.shard.is_none() && self.cfg.watchdog_window > 0 && self.out.watchdog.is_none() {
+            if let Some(t) = self.events.peek_time() {
+                let deadline = self.last_progress_at + self.cfg.watchdog_window;
+                if t > deadline && t <= self.cfg.stop_time && self.unfinished_metric() > 0 {
+                    let report = WatchdogReport {
+                        stalled_at: deadline,
+                        last_progress_at: self.last_progress_at,
+                        window: self.cfg.watchdog_window,
+                        unfinished_flows: self.unfinished_metric() as u32,
+                        delivered_bytes: self.delivered_total,
+                        pfc_pauses: self.out.pfc_events.len() as u64,
+                    };
+                    self.declare_stall(report);
+                }
+            }
+        }
         let Some((t, ev)) = self.events.pop() else {
             return;
         };
@@ -527,12 +901,55 @@ impl Simulator {
                     self.try_start_tx(link);
                 }
             }
+            Event::NodeFault { node, down } => self.handle_node_fault(node, down),
         }
     }
 
     // -----------------------------------------------------------------
     // Event handlers
     // -----------------------------------------------------------------
+
+    /// A node crashes or restarts. On crash, everything parked at the
+    /// dead node's egresses is drained and black-holed (a dead switch
+    /// holds no buffers), with full dequeue-side accounting so the
+    /// shared buffer and PFC watermarks are clean for a restart.
+    /// Packets already on the wire still *arrive* — and die there,
+    /// because [`Self::handle_arrival`] black-holes anything addressed
+    /// to a down node. On restart every egress gets a kick; host CC
+    /// and RTO machinery kept ticking while down, so senders resume
+    /// (or give up) naturally.
+    fn handle_node_fault(&mut self, node: NodeId, down: bool) {
+        if down {
+            self.record(TraceEvent::NodeDown { node });
+            let mut drained: Vec<Box<Packet>> = Vec::new();
+            for l in 0..self.links.len() {
+                if self.links[l].src == node {
+                    self.links[l].drain_queued(|p| drained.push(p));
+                }
+            }
+            for pkt in drained {
+                self.note_dequeue(node, pkt.size as u64, pkt.is_data(), pkt.in_link);
+                self.blackhole(pkt, node);
+            }
+        } else {
+            self.record(TraceEvent::NodeUp { node });
+            for l in 0..self.links.len() {
+                if self.links[l].src == node {
+                    self.try_start_tx(LinkId(l as u32));
+                }
+            }
+        }
+    }
+
+    /// Discard a packet that hit (or was buffered inside) a crashed
+    /// node.
+    fn blackhole(&mut self, pkt: Box<Packet>, at: NodeId) {
+        self.out.blackhole_drops += 1;
+        #[cfg(feature = "audit")]
+        self.audit.on_blackhole(&pkt);
+        self.record(TraceEvent::PacketBlackholed { flow: pkt.flow, at });
+        self.pkt_pool.put(pkt);
+    }
 
     fn handle_flow_start(&mut self, fid: FlowId) {
         let spec = self.flows[fid.index()];
@@ -582,6 +999,10 @@ impl Simulator {
         #[cfg(feature = "audit")]
         self.audit.on_arrival(link, &packet, self.now);
         let dst = self.links[link.index()].dst;
+        if self.node_is_down(dst, self.now) {
+            self.blackhole(packet, dst);
+            return;
+        }
         if self.nodes[dst.index()].is_host() {
             self.host_arrival(dst, packet);
         } else {
@@ -591,19 +1012,33 @@ impl Simulator {
 
     fn host_arrival(&mut self, node: NodeId, mut pkt: Box<Packet>) {
         let now = self.now;
-        let (out, uplink) = {
+        let (out, uplink, progress) = {
             let h = self.nodes[node.index()].as_host_mut().expect("host");
+            let before = h.delivered_bytes;
             let out = h.on_packet(&mut pkt, now, &mut self.pkt_pool);
             if out.sender_done {
                 h.gc_finished();
             }
-            (out, h.uplink)
+            (out, h.uplink, h.delivered_bytes - before)
+        };
+        // Watchdog food: any in-order receiver advance is progress.
+        if progress > 0 {
+            self.delivered_total += progress;
+            self.last_progress_at = now;
+        }
+        let done_flow = if out.sender_done {
+            Some(pkt.flow)
+        } else {
+            None
         };
         // The arrival box dies at its sink; recycle it first so the ACK
         // it usually provokes is boxed into the very same allocation.
         #[cfg(feature = "audit")]
         self.audit.on_delivered(&pkt);
         self.pkt_pool.put(pkt);
+        if let Some(f) = done_flow {
+            self.sender_done[f.index()] = true;
+        }
         if let Some(ack) = out.ack {
             let b = self.pkt_pool.boxed(ack);
             #[cfg(feature = "audit")]
@@ -627,6 +1062,7 @@ impl Simulator {
                 flow: rec.flow,
                 fct: rec.fct(),
             });
+            self.note_flow_end(rec.flow, rec.finish, FlowOutcome::Completed, rec.size_bytes);
             self.out.fcts.push(rec);
         }
         self.try_start_tx(uplink);
@@ -814,6 +1250,12 @@ impl Simulator {
         if self.links[l.index()].busy {
             return;
         }
+        // A crashed node serializes nothing: its queues were drained at
+        // crash time, its hosts generate nothing, and the restart event
+        // kicks every egress back to life.
+        if self.node_is_down(self.links[l.index()].src, now) {
+            return;
+        }
         let data_paused = self.links[l.index()].queues.is_paused(Priority::Data);
         let mut from_pfq = false;
         let mut pkt = self.links[l.index()].queues.dequeue();
@@ -862,68 +1304,41 @@ impl Simulator {
 
         // Dequeue bookkeeping at switch egresses.
         let src = self.links[l.index()].src;
-        let mut resume_on: Option<LinkId> = None;
-        if let Node::Switch(sw) = &mut self.nodes[src.index()] {
-            sw.buffer.release(pkt.size as u64);
-            if pkt.is_data() {
-                if let Some(il) = pkt.in_link {
-                    let cap = sw.buffer.capacity();
-                    let used = sw.buffer.used();
-                    let pfc = sw.pfc;
-                    let act = sw.ingress.get_or_default(il).on_dequeue(
-                        pkt.size as u64,
-                        &pfc,
-                        cap,
-                        used,
-                        now,
-                    );
-                    if act == PfcAction::Resume {
-                        resume_on = Some(il);
-                    }
-                }
-            }
-        }
-        if let Some(il) = resume_on {
-            self.record(TraceEvent::PfcResume {
-                at: src,
-                ingress: il,
-            });
-            let d = self.links[il.index()].delay;
-            self.events.schedule(
-                now + d,
-                Event::PfcUpdate {
-                    link: il,
-                    paused: false,
-                },
-            );
-        }
+        self.note_dequeue(src, pkt.size as u64, pkt.is_data(), pkt.in_link);
 
         // INT insertion at serialization start. The hop is computed
         // under a shared borrow of the link; the stack box (if the
-        // packet does not carry one yet) comes from the pool.
+        // packet does not carry one yet) comes from the pool. A
+        // control-plane outage suppresses the insertion entirely — the
+        // PFQ credit stamp below is data-plane state and survives.
+        let dark = self.ctrl_dark(now);
         {
             let lk = &self.links[l.index()];
             if pkt.is_data() && lk.opts.int_enabled {
-                let qlen = if from_pfq {
-                    lk.pfq
-                        .as_ref()
-                        .and_then(|p| p.get(pkt.flow))
-                        .map_or(0, |s| s.bytes())
+                if dark {
+                    self.out.int_suppressed += 1;
                 } else {
-                    lk.queues.bytes(Priority::Data)
-                };
-                let hop = IntHop {
-                    hop_id: lk.hop_id,
-                    ts: now,
-                    qlen_bytes: qlen,
-                    tx_bytes: lk.tx_bytes,
-                    link_bps: lk.bandwidth,
-                    is_dci: lk.opts.int_is_dci || from_pfq,
-                };
-                if pkt.int.is_none() {
-                    pkt.int = Some(self.pkt_pool.take_int());
+                    let qlen = if from_pfq {
+                        lk.pfq
+                            .as_ref()
+                            .and_then(|p| p.get(pkt.flow))
+                            .map_or(0, |s| s.bytes())
+                    } else {
+                        lk.queues.bytes(Priority::Data)
+                    };
+                    let hop = IntHop {
+                        hop_id: lk.hop_id,
+                        ts: now,
+                        qlen_bytes: qlen,
+                        tx_bytes: lk.tx_bytes,
+                        link_bps: lk.bandwidth,
+                        is_dci: lk.opts.int_is_dci || from_pfq,
+                    };
+                    if pkt.int.is_none() {
+                        pkt.int = Some(self.pkt_pool.take_int());
+                    }
+                    pkt.int.as_mut().expect("just attached").push(hop);
                 }
-                pkt.int.as_mut().expect("just attached").push(hop);
             }
             if from_pfq {
                 // Algorithm 1: stamp the PFQ's credit C_D into the data.
@@ -933,7 +1348,10 @@ impl Simulator {
         }
 
         // Sender-side DCI near-source loop: strip INT onto a Switch-INT
-        // feedback packet as the data leaves the datacenter.
+        // feedback packet as the data leaves the datacenter. Dark
+        // control plane: no feedback is generated and the pacing state
+        // is untouched — the switch's telemetry agent is down, not
+        // merely rate-limited.
         let mut feedback: Option<Packet> = None;
         if pkt.is_data() && self.cfg.dci.near_source_enabled {
             let is_lh = self.nodes[src.index()]
@@ -943,15 +1361,22 @@ impl Simulator {
                 // Strip the stack by move: either it rides the feedback
                 // packet or its box goes straight back to the pool.
                 let stack = pkt.int.take();
-                let due = self.nodes[src.index()]
-                    .as_switch_mut()
-                    .and_then(|sw| sw.dci.as_mut())
-                    .is_some_and(|d| d.switch_int_due(pkt.flow, now));
-                if due {
-                    let id = self.pkt_pool.next_id();
-                    feedback = Some(Packet::switch_int(id, pkt.flow, src, pkt.src, stack));
-                } else if let Some(s) = stack {
-                    self.pkt_pool.put_int(s);
+                if dark {
+                    self.out.int_suppressed += 1;
+                    if let Some(s) = stack {
+                        self.pkt_pool.put_int(s);
+                    }
+                } else {
+                    let due = self.nodes[src.index()]
+                        .as_switch_mut()
+                        .and_then(|sw| sw.dci.as_mut())
+                        .is_some_and(|d| d.switch_int_due(pkt.flow, now));
+                    if due {
+                        let id = self.pkt_pool.next_id();
+                        feedback = Some(Packet::switch_int(id, pkt.flow, src, pkt.src, stack));
+                    } else if let Some(s) = stack {
+                        self.pkt_pool.put_int(s);
+                    }
                 }
             }
         }
@@ -1056,6 +1481,46 @@ impl Simulator {
         }
     }
 
+    /// Dequeue-side bookkeeping shared by the serializer and the crash
+    /// drain: release the shared buffer at a switch egress and run PFC
+    /// ingress accounting, scheduling the Resume toward the upstream
+    /// when the pause threshold clears.
+    fn note_dequeue(&mut self, src: NodeId, size: u64, is_data: bool, in_link: Option<LinkId>) {
+        let now = self.now;
+        let mut resume_on: Option<LinkId> = None;
+        if let Node::Switch(sw) = &mut self.nodes[src.index()] {
+            sw.buffer.release(size);
+            if is_data {
+                if let Some(il) = in_link {
+                    let cap = sw.buffer.capacity();
+                    let used = sw.buffer.used();
+                    let pfc = sw.pfc;
+                    let act = sw
+                        .ingress
+                        .get_or_default(il)
+                        .on_dequeue(size, &pfc, cap, used, now);
+                    if act == PfcAction::Resume {
+                        resume_on = Some(il);
+                    }
+                }
+            }
+        }
+        if let Some(il) = resume_on {
+            self.record(TraceEvent::PfcResume {
+                at: src,
+                ingress: il,
+            });
+            let d = self.links[il.index()].delay;
+            self.events.schedule(
+                now + d,
+                Event::PfcUpdate {
+                    link: il,
+                    paused: false,
+                },
+            );
+        }
+    }
+
     fn handle_cc_timer(&mut self, node: NodeId, flow: FlowId) {
         let now = self.now;
         let (out, uplink) = {
@@ -1076,20 +1541,39 @@ impl Simulator {
 
     fn handle_rto(&mut self, node: NodeId, flow: FlowId) {
         let now = self.now;
-        let (retx, next, uplink) = {
+        let (verdict, next, uplink) = {
             let Some(h) = self.nodes[node.index()].as_host_mut() else {
                 return;
             };
-            let (retx, next) = h.on_rto_check(flow, now);
-            (retx, next, h.uplink)
+            let (verdict, next) = h.on_rto_check(flow, now);
+            (verdict, next, h.uplink)
         };
-        if retx {
-            let from_seq = self.nodes[node.index()]
-                .as_host()
-                .and_then(|h| h.send_flow(flow))
-                .map_or(0, |f| f.bytes_acked);
-            self.record(TraceEvent::Retransmit { flow, from_seq });
-            self.try_start_tx(uplink);
+        match verdict {
+            RtoVerdict::None => {}
+            RtoVerdict::Retransmit => {
+                let from_seq = self.nodes[node.index()]
+                    .as_host()
+                    .and_then(|h| h.send_flow(flow))
+                    .map_or(0, |f| f.bytes_acked);
+                self.record(TraceEvent::Retransmit { flow, from_seq });
+                self.try_start_tx(uplink);
+            }
+            RtoVerdict::GiveUp(reason) => {
+                // A flow that starves while one of its endpoints is
+                // crashed failed *because of* the crash; report the
+                // cause, not the symptom. The check reads the
+                // replicated fault table, so every shard names the
+                // same reason even when it owns only one endpoint.
+                let spec = self.flows[flow.index()];
+                let reason = if self.node_is_down(spec.src, now) || self.node_is_down(spec.dst, now)
+                {
+                    FailReason::HostCrash
+                } else {
+                    reason
+                };
+                self.giveup_count += 1;
+                self.fail_flow(flow, reason, now);
+            }
         }
         if let Some(at) = next {
             self.events.schedule(at, Event::RtoCheck { node, flow });

@@ -60,6 +60,28 @@ pub enum TraceEvent {
     LinkUp {
         link: LinkId,
     },
+    /// A node-fault crashed this host or switch.
+    NodeDown {
+        node: NodeId,
+    },
+    /// A crashed node restarted.
+    NodeUp {
+        node: NodeId,
+    },
+    /// A packet arrived at (or was buffered inside) a crashed node and
+    /// was discarded — distinct from [`Self::PacketLost`], which is a
+    /// wire-level fault on a link.
+    PacketBlackholed {
+        flow: FlowId,
+        at: NodeId,
+    },
+    /// A flow ended without completing (give-up policy, deadline, or
+    /// watchdog); `acked` is the partial byte count.
+    FlowFailed {
+        flow: FlowId,
+        reason: crate::flow::FailReason,
+        acked: u64,
+    },
 }
 
 /// A timestamped record.
@@ -124,11 +146,15 @@ impl Trace {
             | TraceEvent::PacketDropped { flow, .. }
             | TraceEvent::Retransmit { flow, .. }
             | TraceEvent::PfqCreated { flow, .. }
-            | TraceEvent::PacketLost { flow, .. } => *flow == want,
+            | TraceEvent::PacketLost { flow, .. }
+            | TraceEvent::PacketBlackholed { flow, .. }
+            | TraceEvent::FlowFailed { flow, .. } => *flow == want,
             TraceEvent::PfcPause { .. }
             | TraceEvent::PfcResume { .. }
             | TraceEvent::LinkDown { .. }
-            | TraceEvent::LinkUp { .. } => true,
+            | TraceEvent::LinkUp { .. }
+            | TraceEvent::NodeDown { .. }
+            | TraceEvent::NodeUp { .. } => true,
         }
     }
 

@@ -124,6 +124,16 @@ fn assert_identical(got: &ShardedOutput, want: &ShardedOutput, label: &str) {
             .collect::<Vec<_>>()
     };
     assert_eq!(fcts(got), fcts(want), "{label}: fcts");
+    assert_eq!(
+        got.out.blackhole_drops, want.out.blackhole_drops,
+        "{label}: blackhole_drops"
+    );
+    assert_eq!(
+        got.out.int_suppressed, want.out.int_suppressed,
+        "{label}: int_suppressed"
+    );
+    assert_eq!(got.out.outcomes, want.out.outcomes, "{label}: outcomes");
+    assert_eq!(got.out.watchdog, want.out.watchdog, "{label}: watchdog");
     assert_eq!(got.trace, want.trace, "{label}: trace");
 }
 
@@ -153,6 +163,67 @@ fn sharded_faulted_run_is_bit_identical_to_single_thread() {
     for shards in [1, shards_under_test()] {
         let sh = netsim::shard::run_sharded(shards, Some(100_000), &build, &setup);
         assert_identical(&sh, &base, &format!("{shards}-shard faulted"));
+    }
+}
+
+/// The same dumbbell with the long haul cut mid-transfer and never
+/// restored, the give-up policy and the liveness watchdog armed: every
+/// flow must reach a typed `Failed` verdict, and the verdicts, the
+/// stall report, and the trace must be bit-identical at every shard
+/// count (the cross-shard watchdog consensus must agree with the
+/// single-threaded peek-ahead check to the picosecond).
+fn cut_scenario(
+    seed: u64,
+) -> (
+    impl Fn() -> Simulator + Sync,
+    impl Fn(&mut Simulator) + Sync,
+) {
+    let cfg = SimConfig {
+        stop_time: 2 * SEC,
+        dci: DciFeatures::mlcc(),
+        seed,
+        giveup_rto_limit: 5,
+        watchdog_window: 100 * MS,
+        ..SimConfig::default()
+    };
+    let topo = DumbbellTopology::build(DumbbellParams::default());
+    let servers = topo.servers.clone();
+    let long_haul = topo.long_haul;
+    let build = move || {
+        let topo = DumbbellTopology::build(DumbbellParams::default());
+        Simulator::new(topo.net, cfg, Box::new(MlccFactory::default()))
+    };
+    let setup = move |sim: &mut Simulator| {
+        for l in long_haul {
+            sim.inject_link_faults(l, FaultProfile::flap(200 * US, 3 * SEC));
+        }
+        for side in 0..2 {
+            let (senders, receivers) = (&servers[side], &servers[1 - side]);
+            for (i, (&src, &dst)) in senders.iter().zip(receivers.iter()).enumerate() {
+                sim.add_flow(src, dst, 5_000_000, (i as Time) * 100 * US);
+            }
+        }
+    };
+    (build, setup)
+}
+
+#[test]
+fn sharded_permanent_cut_run_is_bit_identical_to_single_thread() {
+    let (build, setup) = cut_scenario(3);
+    let base = netsim::shard::run_single_canonical(Some(100_000), &build, &setup);
+    assert_eq!(base.out.fcts.len(), 0, "no flow can cross the cut");
+    assert_eq!(base.out.outcomes.len(), 4, "every flow has a verdict");
+    assert!(
+        base.out
+            .outcomes
+            .iter()
+            .all(|o| o.outcome.is_failed() && o.bytes_acked < o.size_bytes),
+        "all flows fail with partial transfers"
+    );
+    assert!(base.out.fault_drops > 0, "the cut black-holes traffic");
+    for shards in [1, shards_under_test()] {
+        let sh = netsim::shard::run_sharded(shards, Some(100_000), &build, &setup);
+        assert_identical(&sh, &base, &format!("{shards}-shard permanent-cut"));
     }
 }
 
