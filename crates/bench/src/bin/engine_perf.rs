@@ -15,6 +15,9 @@
 //!   bit-identical merged output, wall clock bounded by the busier DC.
 //! * `fault_smoke_mlcc` / `fault_smoke_dcqcn` — the `fault_sweep --smoke`
 //!   dumbbell topology at 1% long-haul loss.
+//! * `fat_tree_allreduce` — two synchronized ring-allreduce iterations
+//!   over the k=4 fat-tree under MLCC: barriered mass flow churn on an
+//!   ECMP multipath fabric.
 //!
 //! The binary installs [`netsim::alloc::CountingAlloc`] as the global
 //! allocator, so each scenario also reports `peak_mem_bytes` — the
@@ -36,6 +39,7 @@
 
 use std::time::Instant;
 
+use mlcc_bench::scenarios::collective::{run as collective_run, CollectiveConfig};
 use mlcc_bench::scenarios::faults::{run_cell, FaultCell};
 use mlcc_bench::scenarios::large_scale::{run as large_scale_run, run_mc, LargeScaleConfig};
 use mlcc_bench::Algo;
@@ -120,6 +124,31 @@ fn run_large_scale_mc(name: &'static str, cfg: LargeScaleConfig, shards: u32) ->
     }
 }
 
+/// Synchronized ring allreduce on the k=4 fat-tree: 30 barriered steps
+/// per iteration, heavy flow churn, ECMP multipath — the collective
+/// hot path this bench guards.
+fn run_fat_tree_allreduce(name: &'static str) -> Timing {
+    CountingAlloc::reset_peak();
+    let t0 = Instant::now();
+    let r = collective_run(&CollectiveConfig {
+        bytes_per_rank: 1_000_000,
+        iterations: 2,
+        ..CollectiveConfig::default()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(r.hung_flows, 0, "allreduce must not hang");
+    Timing {
+        name,
+        events: r.events,
+        events_scheduled: r.events_scheduled,
+        peak_queue_depth: r.peak_queue_depth,
+        flows_completed: r.completed_flows,
+        flows_total: r.completed_flows + r.hung_flows,
+        best_wall_secs: wall,
+        peak_mem_bytes: CountingAlloc::peak_bytes(),
+    }
+}
+
 fn run_fault_smoke(name: &'static str, algo: Algo) -> Timing {
     CountingAlloc::reset_peak();
     let t0 = Instant::now();
@@ -148,6 +177,7 @@ const REQUIRED_MARKERS: &[&str] = &[
     "\"name\": \"large_scale_xl_mc2\"",
     "\"name\": \"fault_smoke_mlcc\"",
     "\"name\": \"fault_smoke_dcqcn\"",
+    "\"name\": \"fat_tree_allreduce\"",
     "\"events_per_sec\":",
     "\"events_scheduled\":",
     "\"peak_queue_depth\":",
@@ -234,6 +264,9 @@ fn main() {
         }),
         time_scenario("fault_smoke_dcqcn", iters, || {
             run_fault_smoke("fault_smoke_dcqcn", Algo::Dcqcn)
+        }),
+        time_scenario("fat_tree_allreduce", iters, || {
+            run_fat_tree_allreduce("fat_tree_allreduce")
         }),
     ];
 

@@ -4,6 +4,9 @@
 //!
 //! * `fuzz_sim [--seeds N] [--start S]` — sweep N seeds (default 200).
 //! * `fuzz_sim --smoke` — a 30-seed CI sweep.
+//! * `fuzz_sim --topo T` — force every spec onto topology T (0 =
+//!   dumbbell, 1 = two-DC, 2 = fat-tree, 3 = multi-island) so a sweep
+//!   concentrates on one fabric.
 //! * `fuzz_sim --replay <spec>` — run one spec verbatim, loudly.
 //!
 //! On a violation the sweep shrinks the scenario to a minimal
@@ -18,10 +21,20 @@ fn main() {
     let mut seeds: u64 = 200;
     let mut start: u64 = 1;
     let mut replay: Option<String> = None;
+    let mut topo: Option<u8> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => seeds = 30,
+            "--topo" => {
+                i += 1;
+                topo = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&t| t <= 3)
+                        .unwrap_or_else(|| usage("--topo needs a number in 0..=3")),
+                );
+            }
             "--seeds" => {
                 i += 1;
                 seeds = args
@@ -79,7 +92,10 @@ fn main() {
         let jobs: Vec<_> = (base..base + n)
             .map(|seed| {
                 move || {
-                    let spec = FuzzSpec::generate(seed);
+                    let mut spec = FuzzSpec::generate(seed);
+                    if let Some(t) = topo {
+                        spec.topo = t;
+                    }
                     let out = run_spec(&spec);
                     (spec, out)
                 }
@@ -153,6 +169,6 @@ fn report_one(spec: &FuzzSpec, out: &FuzzOutcome) {
 
 fn usage(err: &str) -> ! {
     eprintln!("fuzz_sim: {err}");
-    eprintln!("usage: fuzz_sim [--seeds N] [--start S] [--smoke] [--replay <spec>]");
+    eprintln!("usage: fuzz_sim [--seeds N] [--start S] [--smoke] [--topo 0..=3] [--replay <spec>]");
     std::process::exit(2);
 }

@@ -81,17 +81,21 @@ pub struct FuzzSpec {
     pub seed: u64,
     /// Index into [`Algo::ALL`].
     pub algo: u8,
-    /// 0 = dumbbell testbed, 1 = two-DC fabric.
+    /// 0 = dumbbell testbed, 1 = two-DC fabric, 2 = k=4 fat-tree,
+    /// 3 = three spine-leaf islands meshed by DCI long hauls.
     pub topo: u8,
-    /// Servers per rack (two-DC) or per ToR (dumbbell).
+    /// Servers per rack (two-DC / multi-island), per ToR (dumbbell),
+    /// or per edge switch (fat-tree).
     pub hosts: u32,
     /// Number of flows.
     pub flows: u32,
     /// Stop time in milliseconds.
     pub stop_ms: u32,
-    /// Set of `FAULT_*` clauses applied to the long haul.
+    /// Set of `FAULT_*` clauses applied to the long haul (on the
+    /// fat-tree, which has no WAN, they hit the first agg↔core pair).
     pub fault_mask: u8,
-    /// 0 = random pairs, 1 = incast onto the first server.
+    /// 0 = random pairs, 1 = incast onto the first server, 2 =
+    /// ring-collective neighbor rounds, 3 = all-to-all shift rounds.
     pub wl: u8,
     /// Intra-DC switch buffer override in KB (0 = topology default).
     pub buf_kb: u32,
@@ -109,7 +113,7 @@ impl FuzzSpec {
     /// attributes.
     pub fn generate(seed: u64) -> FuzzSpec {
         let mut shape = Xoshiro256StarStar::substream(seed, 1);
-        FuzzSpec {
+        let mut spec = FuzzSpec {
             seed,
             algo: shape.gen_range(0..Algo::ALL.len() as u64) as u8,
             topo: shape.gen_range(0..2) as u8,
@@ -127,7 +131,20 @@ impl FuzzSpec {
             nf: shape.gen_range(0..16) as u8,
             gv: shape.gen_range(0..8) as u8,
             chaos: CHAOS_NONE,
+        };
+        // Appended draws, same discipline: half the seeds upgrade to
+        // the multipath topologies (fat-tree, island mesh) and half to
+        // the collective workloads; a draw below 2 keeps the original
+        // attribute so earlier seeds' dumbbell/two-DC coverage remains.
+        let topo_ext = shape.gen_range(0..4) as u8;
+        if topo_ext >= 2 {
+            spec.topo = topo_ext;
         }
+        let wl_ext = shape.gen_range(0..4) as u8;
+        if wl_ext >= 2 {
+            spec.wl = wl_ext;
+        }
+        spec
     }
 
     fn algo(&self) -> Algo {
@@ -374,29 +391,53 @@ pub fn run_spec(spec: &FuzzSpec) -> FuzzOutcome {
             // Per-flow substream: shrinking the flow count replays the
             // surviving flows bit-identically.
             let mut fr = Xoshiro256StarStar::substream(spec.seed, 0x100 + i as u64);
-            let (src, dst, size, start) = if spec.wl == 1 {
-                // Incast: distinct sources fan in on servers[0] in a
-                // synchronized burst. Sources rotate round-robin over
-                // the remaining servers (a function of the flow index
-                // only, so shrinking the flow count keeps the survivors'
-                // endpoints), and sizes get a floor that sustains the
-                // overlap long enough to fill switch buffers.
-                let src = servers[1 + i % (servers.len() - 1)];
-                let size = 100_000 + fr.gen_range(0..400_000);
-                (src, servers[0], size, 0)
-            } else {
-                // Random pairs staggered across the first 4 ms. A dst
-                // draw that collides with src steps to the next server,
-                // so src == dst (no path at all) can never be emitted.
-                let si = fr.gen_range(0..servers.len() as u64) as usize;
-                let mut di = fr.gen_range(0..servers.len() as u64) as usize;
-                if di == si {
-                    di = (si + 1) % servers.len();
+            let (src, dst, size, start) = match spec.wl {
+                1 => {
+                    // Incast: distinct sources fan in on servers[0] in a
+                    // synchronized burst. Sources rotate round-robin over
+                    // the remaining servers (a function of the flow index
+                    // only, so shrinking the flow count keeps the survivors'
+                    // endpoints), and sizes get a floor that sustains the
+                    // overlap long enough to fill switch buffers.
+                    let src = servers[1 + i % (servers.len() - 1)];
+                    let size = 100_000 + fr.gen_range(0..400_000);
+                    (src, servers[0], size, 0)
                 }
-                let (src, dst) = (servers[si], servers[di]);
-                let size = 10_000 + fr.gen_range(0..400_000);
-                let start = fr.gen_range(0..4_000) as Time * US;
-                (src, dst, size, start)
+                2 => {
+                    // Ring collective: round r of neighbor transfers,
+                    // rounds staggered rather than barriered so faults
+                    // can land mid-round. Endpoints are a function of
+                    // the flow index only (shrink-stable).
+                    let n = servers.len();
+                    let (rank, round) = (i % n, i / n);
+                    let size = 50_000 + fr.gen_range(0..200_000);
+                    let start = round as Time * 500 * US;
+                    (servers[rank], servers[(rank + 1) % n], size, start)
+                }
+                3 => {
+                    // All-to-all: round r shifts every rank's target by
+                    // 1 + (r mod (n−1)) — the linear-shift schedule.
+                    let n = servers.len();
+                    let (rank, round) = (i % n, i / n);
+                    let shift = 1 + round % (n - 1).max(1);
+                    let size = 50_000 + fr.gen_range(0..200_000);
+                    let start = round as Time * 500 * US;
+                    (servers[rank], servers[(rank + shift) % n], size, start)
+                }
+                _ => {
+                    // Random pairs staggered across the first 4 ms. A dst
+                    // draw that collides with src steps to the next server,
+                    // so src == dst (no path at all) can never be emitted.
+                    let si = fr.gen_range(0..servers.len() as u64) as usize;
+                    let mut di = fr.gen_range(0..servers.len() as u64) as usize;
+                    if di == si {
+                        di = (si + 1) % servers.len();
+                    }
+                    let (src, dst) = (servers[si], servers[di]);
+                    let size = 10_000 + fr.gen_range(0..400_000);
+                    let start = fr.gen_range(0..4_000) as Time * US;
+                    (src, dst, size, start)
+                }
             };
             sim.add_flow(src, dst, size, start);
         }
@@ -433,30 +474,66 @@ pub fn run_spec(spec: &FuzzSpec) -> FuzzOutcome {
 /// list flows draw endpoints from, and the intra-DC switches the
 /// switch-crash clause picks its victim from.
 fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>, Vec<NodeId>) {
-    if spec.topo == 0 {
-        let mut params = DumbbellParams {
-            servers_per_tor: spec.hosts as usize,
-            ..DumbbellParams::default()
-        };
-        if spec.buf_kb > 0 {
-            params.tor_buffer = spec.buf_kb as u64 * 1024;
+    match spec.topo {
+        0 => {
+            let mut params = DumbbellParams {
+                servers_per_tor: spec.hosts as usize,
+                ..DumbbellParams::default()
+            };
+            if spec.buf_kb > 0 {
+                params.tor_buffer = spec.buf_kb as u64 * 1024;
+            }
+            let topo = DumbbellTopology::build(params);
+            let servers: Vec<NodeId> = topo.servers.iter().flatten().copied().collect();
+            (topo.net, topo.long_haul, servers, topo.tors.to_vec())
         }
-        let topo = DumbbellTopology::build(params);
-        let servers: Vec<NodeId> = topo.servers.iter().flatten().copied().collect();
-        (topo.net, topo.long_haul, servers, topo.tors.to_vec())
-    } else {
-        let mut params = TwoDcParams {
-            servers_per_leaf: spec.hosts as usize,
-            leaves_per_dc: 2,
-            ..TwoDcParams::default()
-        };
-        if spec.buf_kb > 0 {
-            params.dc_switch_buffer = spec.buf_kb as u64 * 1024;
+        1 => {
+            let mut params = TwoDcParams {
+                servers_per_leaf: spec.hosts as usize,
+                leaves_per_dc: 2,
+                ..TwoDcParams::default()
+            };
+            if spec.buf_kb > 0 {
+                params.dc_switch_buffer = spec.buf_kb as u64 * 1024;
+            }
+            let topo = TwoDcTopology::build(params);
+            let servers = topo.net.hosts.clone();
+            let switches: Vec<NodeId> = topo.leaves.iter().flatten().copied().collect();
+            (topo.net, topo.long_haul, servers, switches)
         }
-        let topo = TwoDcTopology::build(params);
-        let servers = topo.net.hosts.clone();
-        let switches: Vec<NodeId> = topo.leaves.iter().flatten().copied().collect();
-        (topo.net, topo.long_haul, servers, switches)
+        2 => {
+            let mut params = FatTreeParams {
+                hosts_per_edge: spec.hosts as usize,
+                ..FatTreeParams::default()
+            };
+            if spec.buf_kb > 0 {
+                params.switch_buffer = spec.buf_kb as u64 * 1024;
+            }
+            let topo = FatTreeTopology::build(params);
+            let servers = topo.hosts.clone();
+            let switches = topo.pod_switches();
+            // No WAN in a fat-tree: the fault clauses target the first
+            // agg↔core pair, the closest analog of a flaky trunk.
+            (topo.net, topo.agg_core_links[0], servers, switches)
+        }
+        _ => {
+            let mut params = MultiDcParams {
+                island: IslandKind::SpineLeaf {
+                    spines: 2,
+                    leaves: 2,
+                    servers_per_leaf: spec.hosts as usize,
+                },
+                ..MultiDcParams::default()
+            };
+            if spec.buf_kb > 0 {
+                params.dc_switch_buffer = spec.buf_kb as u64 * 1024;
+            }
+            let topo = MultiDcTopology::build(params);
+            let servers: Vec<NodeId> = topo.servers.iter().flatten().copied().collect();
+            let switches: Vec<NodeId> = topo.island_switches.iter().flatten().copied().collect();
+            let lh = topo.long_haul_pair(0, 1);
+            (topo.net, lh, servers, switches)
+        }
     }
 }
 
@@ -559,6 +636,34 @@ mod tests {
     }
 
     #[test]
+    fn generated_specs_cover_the_multipath_spec_space() {
+        let specs: Vec<FuzzSpec> = (1..=64u64).map(FuzzSpec::generate).collect();
+        for (what, pred) in [
+            (
+                "fat-tree",
+                &(|s: &FuzzSpec| s.topo == 2) as &dyn Fn(&FuzzSpec) -> bool,
+            ),
+            ("multi-island", &|s: &FuzzSpec| s.topo == 3),
+            ("ring workload", &|s: &FuzzSpec| s.wl == 2),
+            ("all-to-all workload", &|s: &FuzzSpec| s.wl == 3),
+            ("legacy dumbbell", &|s: &FuzzSpec| s.topo == 0),
+        ] {
+            assert!(specs.iter().any(pred), "no {what} spec in 64 seeds");
+        }
+        // One representative of each new topology runs clean, faults
+        // and all (a 500-seed audited sweep per topology backs this).
+        for topo in [2u8, 3] {
+            let spec = specs.iter().find(|s| s.topo == topo).copied().unwrap();
+            let out = run_spec(&spec);
+            assert!(
+                out.violation.is_none(),
+                "topo {topo} violated: {:?}\nreplay: {spec}",
+                out.violation
+            );
+        }
+    }
+
+    #[test]
     fn shrinking_a_clean_spec_is_identity() {
         let spec = FuzzSpec::generate(2);
         assert_eq!(shrink(spec), spec);
@@ -567,6 +672,14 @@ mod tests {
     /// The ISSUE's demo: deliberately suppress PFC pauses on a
     /// small-buffer incast, watch the losslessness invariant fire, and
     /// shrink to a minimal replayable reproduction.
+    ///
+    /// The buffer is squeezed to the smallest size the *clean* control
+    /// run sustains. Since the ECMP hash folds in the destination, the
+    /// incast engages both spines, and the in-flight bytes landing
+    /// during the pause propagation delay come from two ingress ports
+    /// instead of one polarized port — the switch model reserves no
+    /// dedicated per-port PFC headroom, so 192 KB (the pre-fix
+    /// squeeze) now overflows even with PFC working as designed.
     #[cfg(feature = "audit")]
     #[test]
     fn seeded_pfc_fault_is_caught_and_shrunk() {
@@ -579,7 +692,7 @@ mod tests {
             stop_ms: 40,
             fault_mask: 0,
             wl: 1, // incast onto one server
-            buf_kb: 192,
+            buf_kb: 256,
             nf: 0,
             gv: 0,
             chaos: CHAOS_SKIP_PFC,

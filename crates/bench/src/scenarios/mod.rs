@@ -1,5 +1,6 @@
 //! Reusable experiment scenarios — one module per family of figures.
 
+pub mod collective;
 pub mod convergence;
 pub mod faults;
 pub mod fuzz;

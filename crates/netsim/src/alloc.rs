@@ -24,7 +24,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-static TRAP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static TRAP: AtomicU64 = AtomicU64::new(0);
 static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
@@ -59,16 +59,31 @@ impl CountingAlloc {
         PEAK_BYTES.store(LIVE_BYTES.load(Relaxed), Relaxed);
     }
 
-    /// Debugging aid: make the **next** allocation panic, so its
-    /// backtrace identifies the hot-path allocation site.
+    /// Debugging aid: print a backtrace for each of the next `n`
+    /// allocations, identifying hot-path allocation sites. Printing
+    /// (not panicking) because unwinding out of the global allocator
+    /// aborts the process before the backtrace is shown.
+    #[doc(hidden)]
+    pub fn trap_next_allocs(n: u64) {
+        TRAP.store(n, Relaxed);
+    }
+
+    /// [`Self::trap_next_allocs`] for a single allocation.
     #[doc(hidden)]
     pub fn trap_next_alloc() {
-        TRAP.store(true, Relaxed);
+        Self::trap_next_allocs(1);
     }
 
     fn on_alloc(bytes: u64) {
-        if TRAP.swap(false, Relaxed) {
-            panic!("CountingAlloc trap: allocation on a guarded path");
+        if TRAP.load(Relaxed) > 0 && TRAP.fetch_sub(1, Relaxed) > 0 {
+            // force_capture allocates; TRAP was already decremented, so
+            // the capture's own allocations either consume further trap
+            // budget (harmless: more backtraces of this same site) or
+            // pass through.
+            let armed = TRAP.swap(0, Relaxed);
+            let bt = std::backtrace::Backtrace::force_capture();
+            eprintln!("CountingAlloc trap ({bytes} bytes):\n{bt}");
+            TRAP.store(armed, Relaxed);
         }
         ALLOC_CALLS.fetch_add(1, Relaxed);
         let live = LIVE_BYTES.fetch_add(bytes, Relaxed) + bytes;

@@ -145,14 +145,46 @@ impl IntStack {
 
 /// Per-flow memory of the last record seen from each hop, used to compute
 /// per-hop utilization from consecutive stacks.
-#[derive(Clone, Debug, Default)]
+///
+/// Storage is a fixed inline array, not a `Vec`: this struct lives
+/// inside per-flow CC state and is fed on the ACK hot path, where a lazy
+/// heap growth per fresh flow would break the zero-allocation
+/// steady-state guarantee under flow churn (see `tests/collective_churn.rs`).
+/// A path carries at most [`MAX_INT_HOPS`] records; if a reroute ever
+/// parades more distinct hops past one flow than that, the stalest entry
+/// is evicted.
+#[derive(Clone, Debug)]
 pub struct HopHistory {
-    prev: Vec<IntHop>,
+    prev: [IntHop; MAX_INT_HOPS],
+    len: usize,
+}
+
+impl Default for HopHistory {
+    fn default() -> Self {
+        HopHistory {
+            prev: [EMPTY_HOP; MAX_INT_HOPS],
+            len: 0,
+        }
+    }
 }
 
 impl HopHistory {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Record `hop` as the latest sighting, evicting the stalest entry
+    /// if all slots are taken by other hops.
+    fn remember(&mut self, hop: &IntHop) {
+        if self.len < MAX_INT_HOPS {
+            self.prev[self.len] = *hop;
+            self.len += 1;
+            return;
+        }
+        let stalest = (0..self.len)
+            .min_by_key(|&i| self.prev[i].ts)
+            .expect("history is non-empty when full");
+        self.prev[stalest] = *hop;
     }
 
     /// Fold a new stack into the history and return the maximum hop
@@ -175,13 +207,16 @@ impl HopHistory {
             if !filter(hop) {
                 continue;
             }
-            if let Some(prev) = self.prev.iter_mut().find(|p| p.hop_id == hop.hop_id) {
+            if let Some(prev) = self.prev[..self.len]
+                .iter_mut()
+                .find(|p| p.hop_id == hop.hop_id)
+            {
                 if let Some(u) = hop.utilization(prev, t_base) {
                     max_u = Some(max_u.map_or(u, |m: f64| m.max(u)));
                 }
                 *prev = *hop;
             } else {
-                self.prev.push(*hop);
+                self.remember(hop);
             }
         }
         max_u
@@ -189,7 +224,7 @@ impl HopHistory {
 
     /// Most recent record seen for a given hop, if any.
     pub fn last(&self, hop_id: u32) -> Option<&IntHop> {
-        self.prev.iter().find(|p| p.hop_id == hop_id)
+        self.prev[..self.len].iter().find(|p| p.hop_id == hop_id)
     }
 }
 

@@ -89,7 +89,8 @@ pub mod prelude {
     pub use crate::sim::{SimOutput, Simulator, WatchdogReport};
     pub use crate::switch::SwitchKind;
     pub use crate::topology::{
-        DumbbellParams, DumbbellTopology, NetBuilder, Network, TwoDcParams, TwoDcTopology,
+        DumbbellParams, DumbbellTopology, FatTreeParams, FatTreeTopology, IslandKind,
+        MultiDcParams, MultiDcTopology, NetBuilder, Network, TwoDcParams, TwoDcTopology,
     };
     pub use crate::trace::{Trace, TraceEvent, TraceRecord};
     pub use crate::types::{FlowId, LinkId, NodeId, Priority};

@@ -25,6 +25,17 @@ impl PrioQueues {
         Self::default()
     }
 
+    /// Pre-reserve ring capacity in every priority class so steady-state
+    /// enqueues never grow the deques (allocation-budget tests size this
+    /// to the worst single-egress burst).
+    pub fn reserve(&mut self, per_class: usize) {
+        for q in &mut self.queues {
+            if q.capacity() < per_class {
+                q.reserve(per_class - q.len());
+            }
+        }
+    }
+
     /// Queue a packet in its priority class.
     pub fn enqueue(&mut self, pkt: Box<Packet>) {
         let p = pkt.priority.index();

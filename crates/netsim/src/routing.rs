@@ -85,18 +85,26 @@ impl RoutingTables {
             0 => None,
             1 => Some(c[0]),
             n => {
-                let h = ecmp_hash(flow, node);
+                let h = ecmp_hash(flow, node, dst);
                 Some(c[(h % n as u64) as usize])
             }
         }
     }
 }
 
-/// SplitMix64 over (flow, node): cheap, deterministic, well mixed.
+/// SplitMix64 over (flow, node, dst): cheap, deterministic, well mixed.
+///
+/// The destination must participate: the candidate sets on a fat-tree's
+/// up-path are identical for every remote destination, so a hash of
+/// (flow, node) alone gives one flow label the same candidate index at
+/// each (node, candidate-count) pair regardless of where it is headed —
+/// hardware 5-tuple ECMP folds the destination in for exactly this
+/// reason (see the `ecmp_spreads_per_destination_on_a_fat_tree` test).
 #[inline]
-pub fn ecmp_hash(flow: FlowId, node: NodeId) -> u64 {
+pub fn ecmp_hash(flow: FlowId, node: NodeId, dst: NodeId) -> u64 {
     let mut z = ((flow.0 as u64) << 32 | node.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= (dst.0 as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
@@ -190,16 +198,180 @@ mod tests {
 
     #[test]
     fn hash_is_deterministic_and_spreads() {
-        let a = ecmp_hash(FlowId(1), NodeId(2));
-        let b = ecmp_hash(FlowId(1), NodeId(2));
+        let a = ecmp_hash(FlowId(1), NodeId(2), NodeId(9));
+        let b = ecmp_hash(FlowId(1), NodeId(2), NodeId(9));
         assert_eq!(a, b);
         assert_ne!(
-            ecmp_hash(FlowId(1), NodeId(2)),
-            ecmp_hash(FlowId(2), NodeId(2))
+            ecmp_hash(FlowId(1), NodeId(2), NodeId(9)),
+            ecmp_hash(FlowId(2), NodeId(2), NodeId(9))
         );
         assert_ne!(
-            ecmp_hash(FlowId(1), NodeId(2)),
-            ecmp_hash(FlowId(1), NodeId(3))
+            ecmp_hash(FlowId(1), NodeId(2), NodeId(9)),
+            ecmp_hash(FlowId(1), NodeId(3), NodeId(9))
+        );
+        assert_ne!(
+            ecmp_hash(FlowId(1), NodeId(2), NodeId(9)),
+            ecmp_hash(FlowId(1), NodeId(2), NodeId(10))
+        );
+    }
+
+    /// The hash this PR replaced: (flow, node) only, destination
+    /// ignored. Kept inline so the spread test below can demonstrate
+    /// the polarization it caused.
+    fn prefix_hash(flow: FlowId, node: NodeId) -> u64 {
+        let mut z = ((flow.0 as u64) << 32 | node.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// ECMP spread over a k=4 fat-tree.
+    ///
+    /// Model: each host keeps one stable flow label toward every peer
+    /// (an RDMA NIC's QP number — the 5-tuple minus the destination).
+    /// On a fat-tree the up-path candidate sets are identical for every
+    /// remote destination, so a destination-blind hash gives each label
+    /// ONE up-path for all of its peers: with the pre-fix hash every
+    /// source polarizes its full fan-out onto a single agg→core link.
+    /// With `dst` folded in, each (label, destination) picks
+    /// independently and per-link flow counts stay in a tolerance band.
+    #[test]
+    fn ecmp_spreads_per_destination_on_a_fat_tree() {
+        use crate::topology::{FatTreeParams, FatTreeTopology};
+        use std::collections::{HashMap, HashSet};
+
+        let t = FatTreeTopology::build(FatTreeParams::default());
+        let rt = &t.net.routes;
+        let up: HashSet<LinkId> = t.agg_core_links.iter().map(|pair| pair[0]).collect();
+        let pod_of = |i: usize| i / (t.hosts.len() / t.edges.len());
+
+        // Walk src → dst picking candidates with the supplied hash;
+        // return the agg→core link used (cross-pod paths use exactly one).
+        let up_link = |src: usize, dst: usize, flow: FlowId, dst_blind: bool| -> LinkId {
+            let (mut cur, target) = (t.hosts[src], t.hosts[dst]);
+            let mut used = None;
+            while cur != target {
+                let c = rt.candidates(cur, target);
+                let l = match c.len() {
+                    1 => c[0],
+                    n => {
+                        let h = if dst_blind {
+                            prefix_hash(flow, cur)
+                        } else {
+                            ecmp_hash(flow, cur, target)
+                        };
+                        c[(h % n as u64) as usize]
+                    }
+                };
+                if up.contains(&l) {
+                    used = Some(l);
+                }
+                cur = t.net.links[l.index()].dst;
+            }
+            used.expect("cross-pod path crosses the core")
+        };
+
+        let mut counts: HashMap<LinkId, u64> = HashMap::new();
+        let mut total = 0u64;
+        for src in 0..t.hosts.len() {
+            let label = FlowId(src as u32);
+            let mut fixed = HashSet::new();
+            let mut blind = HashSet::new();
+            for dst in 0..t.hosts.len() {
+                if pod_of(dst) == pod_of(src) {
+                    continue;
+                }
+                fixed.insert(up_link(src, dst, label, false));
+                blind.insert(up_link(src, dst, label, true));
+                *counts.entry(up_link(src, dst, label, false)).or_insert(0) += 1;
+                total += 1;
+            }
+            // The pre-fix polarization, pinned: one up-path per source
+            // label no matter the destination. The fixed hash must
+            // spread the same fan-out over several up-paths.
+            assert_eq!(blind.len(), 1, "destination-blind hash polarizes");
+            assert!(
+                fixed.len() >= 2,
+                "host {src}: 12-peer fan-out stuck on one up-path"
+            );
+        }
+        // Tolerance band: every agg→core link carries some load, none
+        // carries more than 3× or less than ⅓ of the fair share.
+        let avg = total as f64 / up.len() as f64;
+        for &l in &up {
+            let c = *counts.get(&l).unwrap_or(&0) as f64;
+            assert!(
+                c >= avg / 3.0 && c <= avg * 3.0,
+                "link {l:?} carries {c} flows vs fair share {avg:.1}"
+            );
+        }
+    }
+
+    /// Pins the behavioral delta of folding `dst` into the hash:
+    /// single-candidate topologies (the dumbbell every golden runs on)
+    /// resolve identical paths, while genuinely multipath fabrics
+    /// (two-DC spine-leaf) shift at least one flow's path.
+    #[test]
+    fn dst_fold_changes_multipath_but_not_single_path_routes() {
+        use crate::topology::{DumbbellParams, DumbbellTopology, TwoDcParams, TwoDcTopology};
+
+        let walk = |net: &crate::topology::Network,
+                    src: NodeId,
+                    dst: NodeId,
+                    flow: FlowId,
+                    dst_blind: bool|
+         -> Vec<LinkId> {
+            let mut cur = src;
+            let mut path = Vec::new();
+            while cur != dst {
+                let c = net.routes.candidates(cur, dst);
+                let l = match c.len() {
+                    1 => c[0],
+                    n => {
+                        let h = if dst_blind {
+                            prefix_hash(flow, cur)
+                        } else {
+                            ecmp_hash(flow, cur, dst)
+                        };
+                        c[(h % n as u64) as usize]
+                    }
+                };
+                path.push(l);
+                cur = net.links[l.index()].dst;
+            }
+            path
+        };
+
+        let d = DumbbellTopology::build(DumbbellParams::default());
+        for (i, &s) in d.servers[0].iter().enumerate() {
+            for (j, &r) in d.servers[1].iter().enumerate() {
+                let f = FlowId((i * 10 + j) as u32);
+                assert_eq!(
+                    walk(&d.net, s, r, f, true),
+                    walk(&d.net, s, r, f, false),
+                    "dumbbell is single-candidate; the fix must not move it"
+                );
+            }
+        }
+
+        let t = TwoDcTopology::build(TwoDcParams {
+            servers_per_leaf: 2,
+            ..TwoDcParams::default()
+        });
+        let mut moved = 0;
+        let mut pairs = 0;
+        for (i, &s) in t.servers[0].iter().flatten().enumerate() {
+            for (j, &r) in t.servers[1].iter().flatten().enumerate() {
+                let f = FlowId((i * 100 + j) as u32);
+                pairs += 1;
+                if walk(&t.net, s, r, f, true) != walk(&t.net, s, r, f, false) {
+                    moved += 1;
+                }
+            }
+        }
+        assert!(
+            moved > 0,
+            "two-DC spine-leaf is multipath; expected some of the {pairs} paths to move"
         );
     }
 }

@@ -259,7 +259,9 @@ impl Simulator {
 
     /// Pre-provision the allocation-sensitive engine structures: spare
     /// packet/INT boxes in the pool, wheel-slot and heap capacity in the
-    /// event queue, and ring capacity in every per-flow queue that
+    /// event queue, ring capacity in every per-egress priority queue
+    /// (`events_per_slot` per class bounds the worst single-egress
+    /// burst), and ring capacity in every per-flow queue that
     /// already exists. Allocation-budget tests call this (optionally
     /// after a warmup run has created the flows' PFQ state) so the
     /// measured steady-state window performs zero allocator calls.
@@ -270,6 +272,7 @@ impl Simulator {
         #[cfg(feature = "audit")]
         self.audit.prewarm(events_per_slot);
         for lk in &mut self.links {
+            lk.queues.reserve(events_per_slot);
             if let Some(pfq) = &mut lk.pfq {
                 pfq.reserve_queues(n_packets);
             }

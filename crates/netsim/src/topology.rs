@@ -4,6 +4,11 @@
 //!   leaves (racks), connected by DCI switches over a long-haul link.
 //! * [`DumbbellTopology`] — the testbed of §4.6: 2 ToRs, 2 DCI switches,
 //!   2 servers per ToR.
+//! * [`FatTreeTopology`] — a k-ary fat-tree (hosts → edge → agg → core)
+//!   with a configurable oversubscription ratio, the canonical multipath
+//!   fabric for collective workloads.
+//! * [`MultiDcTopology`] — N ≥ 2 spine-leaf or fat-tree islands joined
+//!   pairwise by dedicated DCI switches over long-haul links.
 
 use crate::ecn::EcnConfig;
 use crate::host::Host;
@@ -446,6 +451,472 @@ impl DumbbellTopology {
     }
 }
 
+// ---------------------------------------------------------------------------
+// k-ary fat-tree (hosts → edge → agg → core).
+// ---------------------------------------------------------------------------
+
+/// Parameters of a k-ary fat-tree.
+///
+/// The canonical k-ary fat-tree has `(k/2)²` core switches, `k` pods of
+/// `k/2` aggregation and `k/2` edge switches each, and `k/2` hosts per
+/// edge switch. `hosts_per_edge` is the oversubscription knob: with
+/// equal host and fabric speeds, `hosts_per_edge / (k/2)` is the
+/// edge-layer oversubscription ratio (1:1 at the canonical `k/2`).
+#[derive(Clone, Copy, Debug)]
+pub struct FatTreeParams {
+    /// Port radix; must be even and ≥ 2.
+    pub k: usize,
+    /// Hosts attached to each edge switch (≥ 1).
+    pub hosts_per_edge: usize,
+    pub host_link: Bandwidth,
+    pub fabric_link: Bandwidth,
+    pub host_delay: Time,
+    pub fabric_delay: Time,
+    pub switch_buffer: u64,
+    pub pfc: PfcConfig,
+    pub mtu_payload: u32,
+}
+
+impl Default for FatTreeParams {
+    fn default() -> Self {
+        FatTreeParams {
+            k: 4,
+            hosts_per_edge: 2,
+            host_link: 25 * GBPS,
+            fabric_link: 100 * GBPS,
+            host_delay: 1 * US,
+            fabric_delay: 5 * US,
+            switch_buffer: 22_000_000,
+            pfc: PfcConfig::dc_switch(),
+            mtu_payload: 1000,
+        }
+    }
+}
+
+impl FatTreeParams {
+    /// Edge-layer oversubscription ratio: host capacity entering an edge
+    /// switch over its uplink capacity toward the aggs.
+    pub fn oversubscription(&self) -> f64 {
+        (self.hosts_per_edge as f64 * self.host_link as f64)
+            / ((self.k / 2) as f64 * self.fabric_link as f64)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.k >= 2 && self.k.is_multiple_of(2),
+            "fat-tree k must be even and >= 2, got {}",
+            self.k
+        );
+        assert!(self.hosts_per_edge >= 1, "fat-tree needs hosts per edge");
+    }
+}
+
+/// Handles into a built fat-tree.
+pub struct FatTreeTopology {
+    pub net: Network,
+    pub params: FatTreeParams,
+    /// All hosts, pod-major then edge-major.
+    pub hosts: Vec<NodeId>,
+    /// `edges[pod][i]`, `aggs[pod][i]`.
+    pub edges: Vec<Vec<NodeId>>,
+    pub aggs: Vec<Vec<NodeId>>,
+    pub cores: Vec<NodeId>,
+    /// Every agg ↔ core link pair as `[agg→core, core→agg]`, in
+    /// deterministic pod/agg/core order (fault-injection targets).
+    pub agg_core_links: Vec<[LinkId; 2]>,
+}
+
+impl FatTreeTopology {
+    pub fn build(params: FatTreeParams) -> Self {
+        params.validate();
+        let half = params.k / 2;
+        let mut b = NetBuilder::new(params.mtu_payload);
+        let cores: Vec<NodeId> = (0..half * half)
+            .map(|_| b.add_switch(SwitchKind::Spine, params.switch_buffer, params.pfc))
+            .collect();
+        let mut hosts = Vec::new();
+        let mut edges = Vec::new();
+        let mut aggs = Vec::new();
+        let mut agg_core_links = Vec::new();
+        for _pod in 0..params.k {
+            let pod_aggs: Vec<NodeId> = (0..half)
+                .map(|_| b.add_switch(SwitchKind::Spine, params.switch_buffer, params.pfc))
+                .collect();
+            let pod_edges: Vec<NodeId> = (0..half)
+                .map(|_| b.add_switch(SwitchKind::Leaf, params.switch_buffer, params.pfc))
+                .collect();
+            for &edge in &pod_edges {
+                for _ in 0..params.hosts_per_edge {
+                    let h = b.add_host();
+                    b.connect(
+                        h,
+                        edge,
+                        params.host_link,
+                        params.host_delay,
+                        LinkOpts::default(),
+                    );
+                    hosts.push(h);
+                }
+                for &agg in &pod_aggs {
+                    b.connect(
+                        edge,
+                        agg,
+                        params.fabric_link,
+                        params.fabric_delay,
+                        LinkOpts::default(),
+                    );
+                }
+            }
+            // Agg j serves the core group [j·k/2, (j+1)·k/2).
+            for (j, &agg) in pod_aggs.iter().enumerate() {
+                for &core in &cores[j * half..(j + 1) * half] {
+                    let (up, down) = b.connect(
+                        agg,
+                        core,
+                        params.fabric_link,
+                        params.fabric_delay,
+                        LinkOpts::default(),
+                    );
+                    agg_core_links.push([up, down]);
+                }
+            }
+            edges.push(pod_edges);
+            aggs.push(pod_aggs);
+        }
+        FatTreeTopology {
+            net: b.build(),
+            params,
+            hosts,
+            edges,
+            aggs,
+            cores,
+            agg_core_links,
+        }
+    }
+
+    /// All non-core switches (edge + agg), pod-major — the pool
+    /// node-fault scenarios pick victims from.
+    pub fn pod_switches(&self) -> Vec<NodeId> {
+        self.edges
+            .iter()
+            .zip(&self.aggs)
+            .flat_map(|(e, a)| e.iter().chain(a.iter()).copied())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-island fabric: N datacenters joined pairwise by long-haul links.
+// ---------------------------------------------------------------------------
+
+/// What each island of a [`MultiDcTopology`] looks like inside.
+#[derive(Clone, Copy, Debug)]
+pub enum IslandKind {
+    /// A Fig.-1-style spine-leaf datacenter.
+    SpineLeaf {
+        spines: usize,
+        leaves: usize,
+        servers_per_leaf: usize,
+    },
+    /// A k-ary fat-tree datacenter (DCI switches attach to the cores).
+    FatTree { k: usize, hosts_per_edge: usize },
+}
+
+/// Parameters of the multi-island fabric.
+///
+/// Every island pair is joined by its own long-haul link between two
+/// dedicated DCI switches (one per side), so each DCI switch terminates
+/// exactly one long-haul pair — the same per-pair wiring as the two-DC
+/// fabric, replicated across the full island mesh. Shortest-path
+/// routing therefore never transits a third island.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiDcParams {
+    /// Number of islands (≥ 2).
+    pub islands: usize,
+    pub island: IslandKind,
+    pub server_link: Bandwidth,
+    pub fabric_link: Bandwidth,
+    pub long_haul_link: Bandwidth,
+    pub server_delay: Time,
+    pub fabric_delay: Time,
+    pub long_haul_delay: Time,
+    pub dc_switch_buffer: u64,
+    pub dci_switch_buffer: u64,
+    pub pfc: PfcConfig,
+    pub dci_ecn: EcnConfig,
+    pub pfq_init_rate: Bandwidth,
+    pub switch_int_min_interval: Time,
+    pub mtu_payload: u32,
+}
+
+impl Default for MultiDcParams {
+    fn default() -> Self {
+        MultiDcParams {
+            islands: 3,
+            island: IslandKind::SpineLeaf {
+                spines: 2,
+                leaves: 2,
+                servers_per_leaf: 2,
+            },
+            server_link: 25 * GBPS,
+            fabric_link: 100 * GBPS,
+            long_haul_link: 100 * GBPS,
+            server_delay: 1 * US,
+            fabric_delay: 5 * US,
+            long_haul_delay: 3 * MS,
+            dc_switch_buffer: 22_000_000,
+            dci_switch_buffer: 128_000_000,
+            pfc: PfcConfig::dc_switch(),
+            dci_ecn: EcnConfig::dci_switch(),
+            pfq_init_rate: 25 * GBPS,
+            switch_int_min_interval: 4 * US,
+            mtu_payload: 1000,
+        }
+    }
+}
+
+impl MultiDcParams {
+    fn validate(&self) {
+        assert!(self.islands >= 2, "need at least two islands");
+        match self.island {
+            IslandKind::SpineLeaf {
+                spines,
+                leaves,
+                servers_per_leaf,
+            } => {
+                assert!(
+                    spines >= 1 && leaves >= 1 && servers_per_leaf >= 1,
+                    "degenerate spine-leaf island: {:?}",
+                    self.island
+                );
+            }
+            IslandKind::FatTree { k, hosts_per_edge } => {
+                assert!(
+                    k >= 2 && k % 2 == 0 && hosts_per_edge >= 1,
+                    "degenerate fat-tree island: {:?}",
+                    self.island
+                );
+            }
+        }
+    }
+}
+
+/// Handles into the built multi-island network.
+pub struct MultiDcTopology {
+    pub net: Network,
+    pub params: MultiDcParams,
+    /// `servers[island]`, flattened within each island.
+    pub servers: Vec<Vec<NodeId>>,
+    /// Intra-island switches (spine-leaf: leaves then spines; fat-tree:
+    /// edges then aggs then cores), per island.
+    pub island_switches: Vec<Vec<NodeId>>,
+    /// `dcis[island]` — one DCI switch per peer island, in peer order
+    /// (the slot for the island itself is skipped).
+    pub dcis: Vec<Vec<NodeId>>,
+    /// One entry per island pair `(a, b)` with `a < b`, in
+    /// lexicographic order: `[a→b, b→a]` long-haul links.
+    pub long_haul: Vec<(usize, usize, [LinkId; 2])>,
+}
+
+impl MultiDcTopology {
+    pub fn build(params: MultiDcParams) -> Self {
+        params.validate();
+        let n = params.islands;
+        let mut b = NetBuilder::new(params.mtu_payload);
+        let mut servers = Vec::new();
+        let mut island_switches = Vec::new();
+        let mut dcis: Vec<Vec<NodeId>> = Vec::new();
+        // Per island: the top-tier switches its DCI switches attach to.
+        let mut top_tiers: Vec<Vec<NodeId>> = Vec::new();
+
+        for _island in 0..n {
+            let (isl_servers, switches, top) = match params.island {
+                IslandKind::SpineLeaf {
+                    spines,
+                    leaves,
+                    servers_per_leaf,
+                } => {
+                    let isl_leaves: Vec<NodeId> = (0..leaves)
+                        .map(|_| {
+                            b.add_switch(SwitchKind::Leaf, params.dc_switch_buffer, params.pfc)
+                        })
+                        .collect();
+                    let isl_spines: Vec<NodeId> = (0..spines)
+                        .map(|_| {
+                            b.add_switch(SwitchKind::Spine, params.dc_switch_buffer, params.pfc)
+                        })
+                        .collect();
+                    let mut isl_servers = Vec::new();
+                    for &leaf in &isl_leaves {
+                        for _ in 0..servers_per_leaf {
+                            let h = b.add_host();
+                            b.connect(
+                                h,
+                                leaf,
+                                params.server_link,
+                                params.server_delay,
+                                LinkOpts::default(),
+                            );
+                            isl_servers.push(h);
+                        }
+                        for &spine in &isl_spines {
+                            b.connect(
+                                leaf,
+                                spine,
+                                params.fabric_link,
+                                params.fabric_delay,
+                                LinkOpts::default(),
+                            );
+                        }
+                    }
+                    let mut switches = isl_leaves.clone();
+                    switches.extend(&isl_spines);
+                    (isl_servers, switches, isl_spines)
+                }
+                IslandKind::FatTree { k, hosts_per_edge } => {
+                    // Reuse the standalone builder's shape by inlining
+                    // its wiring against the shared NetBuilder.
+                    let half = k / 2;
+                    let cores: Vec<NodeId> = (0..half * half)
+                        .map(|_| {
+                            b.add_switch(SwitchKind::Spine, params.dc_switch_buffer, params.pfc)
+                        })
+                        .collect();
+                    let mut isl_servers = Vec::new();
+                    let mut switches = Vec::new();
+                    for _pod in 0..k {
+                        let pod_aggs: Vec<NodeId> = (0..half)
+                            .map(|_| {
+                                b.add_switch(SwitchKind::Spine, params.dc_switch_buffer, params.pfc)
+                            })
+                            .collect();
+                        let pod_edges: Vec<NodeId> = (0..half)
+                            .map(|_| {
+                                b.add_switch(SwitchKind::Leaf, params.dc_switch_buffer, params.pfc)
+                            })
+                            .collect();
+                        for &edge in &pod_edges {
+                            for _ in 0..hosts_per_edge {
+                                let h = b.add_host();
+                                b.connect(
+                                    h,
+                                    edge,
+                                    params.server_link,
+                                    params.server_delay,
+                                    LinkOpts::default(),
+                                );
+                                isl_servers.push(h);
+                            }
+                            for &agg in &pod_aggs {
+                                b.connect(
+                                    edge,
+                                    agg,
+                                    params.fabric_link,
+                                    params.fabric_delay,
+                                    LinkOpts::default(),
+                                );
+                            }
+                        }
+                        for (j, &agg) in pod_aggs.iter().enumerate() {
+                            for &core in &cores[j * half..(j + 1) * half] {
+                                b.connect(
+                                    agg,
+                                    core,
+                                    params.fabric_link,
+                                    params.fabric_delay,
+                                    LinkOpts::default(),
+                                );
+                            }
+                        }
+                        switches.extend(&pod_edges);
+                        switches.extend(&pod_aggs);
+                    }
+                    switches.extend(&cores);
+                    (isl_servers, switches, cores)
+                }
+            };
+            // One DCI switch per peer island, attached to every top-tier
+            // switch; the toward-island egresses get PFQs and the
+            // deep-buffer ECN profile exactly like the two-DC fabric.
+            let mut isl_dcis = Vec::new();
+            for _peer in 0..n - 1 {
+                let dci = b.add_switch(
+                    SwitchKind::Dci,
+                    params.dci_switch_buffer,
+                    PfcConfig::disabled(),
+                );
+                for &t in &top {
+                    let (_t2d, d2t) = b.connect(
+                        t,
+                        dci,
+                        params.fabric_link,
+                        params.fabric_delay,
+                        LinkOpts::default(),
+                    );
+                    b.enable_pfq(d2t, params.pfq_init_rate);
+                    b.set_link_ecn(d2t, params.dci_ecn);
+                }
+                isl_dcis.push(dci);
+            }
+            servers.push(isl_servers);
+            island_switches.push(switches);
+            top_tiers.push(top);
+            dcis.push(isl_dcis);
+        }
+
+        // Long-haul mesh: pair (a, b) uses a's DCI slot for peer b and
+        // b's slot for peer a (slots skip the island itself).
+        let slot = |island: usize, peer: usize| peer - usize::from(peer > island);
+        let mut long_haul = Vec::new();
+        for a in 0..n {
+            for bb in a + 1..n {
+                let da = dcis[a][slot(a, bb)];
+                let db = dcis[bb][slot(bb, a)];
+                let (fwd, rev) = b.connect(
+                    da,
+                    db,
+                    params.long_haul_link,
+                    params.long_haul_delay,
+                    LinkOpts {
+                        int_enabled: true,
+                        int_is_dci: true,
+                        long_haul: true,
+                        ecn: Some(params.dci_ecn),
+                    },
+                );
+                b.set_dci(da, fwd, rev, params.switch_int_min_interval);
+                b.set_dci(db, rev, fwd, params.switch_int_min_interval);
+                long_haul.push((a, bb, [fwd, rev]));
+            }
+        }
+
+        MultiDcTopology {
+            net: b.build(),
+            params,
+            servers,
+            island_switches,
+            dcis,
+            long_haul,
+        }
+    }
+
+    /// The long-haul link pair between islands `a` and `b` as
+    /// `[a→b, b→a]` (order-insensitive in the arguments).
+    pub fn long_haul_pair(&self, a: usize, b: usize) -> [LinkId; 2] {
+        let (lo, hi, flip) = if a < b { (a, b, false) } else { (b, a, true) };
+        let &(_, _, [fwd, rev]) = self
+            .long_haul
+            .iter()
+            .find(|&&(x, y, _)| x == lo && y == hi)
+            .unwrap_or_else(|| panic!("no long haul between islands {a} and {b}"));
+        if flip {
+            [rev, fwd]
+        } else {
+            [fwd, rev]
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +994,133 @@ mod tests {
             assert_ne!(host.uplink, LinkId(u32::MAX));
             assert_eq!(t.net.links[host.uplink.index()].src, h);
         }
+    }
+
+    #[test]
+    fn fat_tree_counts_and_shape() {
+        let t = FatTreeTopology::build(FatTreeParams::default());
+        // k=4: 4 cores, 4 pods × (2 agg + 2 edge), 2 hosts per edge.
+        assert_eq!(t.cores.len(), 4);
+        assert_eq!(t.edges.len(), 4);
+        assert_eq!(t.aggs.len(), 4);
+        assert_eq!(t.hosts.len(), 16);
+        assert_eq!(t.net.hosts.len(), 16);
+        // Links: 16 host pairs + 4·2·2 edge-agg pairs + 4·2·2 agg-core
+        // pairs = 48 pairs → 96 links.
+        assert_eq!(t.net.links.len(), 96);
+        assert_eq!(t.agg_core_links.len(), 16);
+        assert_eq!(t.pod_switches().len(), 16);
+        // Canonical hosts_per_edge = k/2 with 25G hosts on a 100G
+        // fabric: 4:1 at the host speed ratio.
+        assert!((t.params.oversubscription() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fat_tree_multipath_candidates() {
+        let t = FatTreeTopology::build(FatTreeParams::default());
+        // Cross-pod: 2 agg choices at the edge, 2 core choices at the agg.
+        let src = t.hosts[0]; // pod 0, edge 0
+        let dst = *t.hosts.last().unwrap(); // pod 3
+        assert_eq!(t.net.routes.candidates(src, dst).len(), 1);
+        assert_eq!(t.net.routes.candidates(t.edges[0][0], dst).len(), 2);
+        assert_eq!(t.net.routes.candidates(t.aggs[0][0], dst).len(), 2);
+        // Down path from a core is unique.
+        assert_eq!(t.net.routes.candidates(t.cores[0], dst).len(), 1);
+        // Intra-edge traffic never leaves the edge switch.
+        let c = t.net.routes.candidates(t.edges[0][0], t.hosts[1]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(t.net.links[c[0].index()].dst, t.hosts[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fat-tree k must be even")]
+    fn fat_tree_rejects_odd_k() {
+        FatTreeTopology::build(FatTreeParams {
+            k: 3,
+            ..FatTreeParams::default()
+        });
+    }
+
+    #[test]
+    fn multi_dc_counts_and_dci_roles() {
+        let p = MultiDcParams::default(); // 3 spine-leaf islands
+        let t = MultiDcTopology::build(p);
+        assert_eq!(t.servers.len(), 3);
+        assert_eq!(t.servers[0].len(), 4);
+        // Per island: 2 leaves + 2 spines intra, 2 per-peer DCI switches.
+        assert_eq!(t.island_switches[0].len(), 4);
+        assert_eq!(t.dcis[0].len(), 2);
+        // 3 island pairs, each with its own long haul.
+        assert_eq!(t.long_haul.len(), 3);
+        for &(a, bb, [fwd, rev]) in &t.long_haul {
+            assert!(t.net.links[fwd.index()].opts.long_haul);
+            assert_eq!(t.net.links[fwd.index()].reverse, rev);
+            let sa = t.net.links[fwd.index()].src;
+            let sb = t.net.links[fwd.index()].dst;
+            assert!(t.dcis[a].contains(&sa) && t.dcis[bb].contains(&sb));
+            let swa = t.net.nodes[sa.index()].as_switch().unwrap();
+            assert!(swa.is_long_haul_egress(fwd) && swa.is_long_haul_ingress(rev));
+        }
+        assert_eq!(t.long_haul_pair(2, 0), {
+            let [f, r] = t.long_haul_pair(0, 2);
+            [r, f]
+        });
+    }
+
+    #[test]
+    fn multi_dc_routes_use_only_the_pair_dci() {
+        let t = MultiDcTopology::build(MultiDcParams {
+            islands: 4,
+            ..MultiDcParams::default()
+        });
+        // A cross-island path crosses exactly one long haul — never a
+        // third island — and it is the pair's own long haul.
+        let rt = &t.net.routes;
+        for (a, bb) in [(0usize, 1usize), (1, 3), (2, 0)] {
+            let (src, dst) = (t.servers[a][0], t.servers[bb][1]);
+            let mut cur = src;
+            let mut crossed = Vec::new();
+            let mut hops = 0;
+            while cur != dst {
+                let l = rt.pick(cur, dst, crate::types::FlowId(7)).unwrap();
+                if t.net.links[l.index()].opts.long_haul {
+                    crossed.push(l);
+                }
+                cur = t.net.links[l.index()].dst;
+                hops += 1;
+                assert!(hops < 16, "routing loop");
+            }
+            assert_eq!(crossed, vec![t.long_haul_pair(a, bb)[0]]);
+        }
+    }
+
+    #[test]
+    fn multi_dc_fat_tree_islands_build() {
+        let t = MultiDcTopology::build(MultiDcParams {
+            islands: 3,
+            island: IslandKind::FatTree {
+                k: 4,
+                hosts_per_edge: 1,
+            },
+            ..MultiDcParams::default()
+        });
+        assert_eq!(t.servers[0].len(), 8);
+        // edges + aggs + cores per island.
+        assert_eq!(t.island_switches[0].len(), 20);
+        // DCI switches attach to all 4 cores, with PFQ toward them.
+        for &dci in &t.dcis[0] {
+            let toward: Vec<_> = t
+                .net
+                .links
+                .iter()
+                .filter(|l| l.src == dci && !l.opts.long_haul)
+                .collect();
+            assert_eq!(toward.len(), 4);
+            assert!(toward.iter().all(|l| l.pfq.is_some()));
+        }
+        // Cross-island routing works from a fat-tree island.
+        let c = t.net.routes.candidates(t.servers[0][0], t.servers[2][7]);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

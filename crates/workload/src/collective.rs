@@ -1,0 +1,218 @@
+//! Collective-communication schedules (allreduce, all-to-all).
+//!
+//! ML training traffic is not Poisson: every iteration, all N ranks
+//! exchange gradient shards in synchronized steps, and the next step
+//! starts only when the slowest transfer of the previous one finishes.
+//! This module generates the *schedules* — which rank sends how many
+//! bytes to which rank at each step — as pure data, leaving the
+//! lockstep execution (barriers between steps) to the simulation
+//! driver in `bench::scenarios::collective`.
+//!
+//! Three canonical algorithms:
+//!
+//! * **Ring allreduce** — 2(N−1) steps; at every step each rank sends
+//!   one D/N chunk to its ring successor (N−1 reduce-scatter steps
+//!   followed by N−1 allgather steps). Bandwidth-optimal, the default
+//!   for large tensors.
+//! * **Tree allreduce** — reduce up a binary tree then broadcast back
+//!   down; each edge carries the full D. Latency-optimal for small
+//!   tensors, and its up/down phases exercise asymmetric fan-in.
+//! * **All-to-all** — N−1 linear-shift steps; at step s each rank i
+//!   sends a D/N chunk to rank (i+s) mod N. The expert-parallel /
+//!   shuffle pattern, and the densest multipath load.
+
+/// Which collective algorithm to schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveOp {
+    RingAllreduce,
+    TreeAllreduce,
+    AllToAll,
+}
+
+impl CollectiveOp {
+    pub const ALL: [CollectiveOp; 3] = [
+        CollectiveOp::RingAllreduce,
+        CollectiveOp::TreeAllreduce,
+        CollectiveOp::AllToAll,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveOp::RingAllreduce => "ring_allreduce",
+            CollectiveOp::TreeAllreduce => "tree_allreduce",
+            CollectiveOp::AllToAll => "all_to_all",
+        }
+    }
+}
+
+/// One transfer within a step: `(src_rank, dst_rank, bytes)`.
+pub type Transfer = (usize, usize, u64);
+
+/// A synchronized collective: `steps[s]` lists the transfers of step
+/// `s`, which all start together once every transfer of step `s−1` has
+/// completed.
+#[derive(Clone, Debug)]
+pub struct CollectiveSchedule {
+    pub op: CollectiveOp,
+    pub ranks: usize,
+    /// Per-rank payload D, bytes.
+    pub data_bytes: u64,
+    pub steps: Vec<Vec<Transfer>>,
+}
+
+impl CollectiveSchedule {
+    /// Build the step schedule for `op` over `ranks` ranks, each
+    /// holding `data_bytes` of payload.
+    pub fn new(op: CollectiveOp, ranks: usize, data_bytes: u64) -> Self {
+        assert!(ranks >= 2, "a collective needs at least 2 ranks");
+        assert!(data_bytes > 0, "a collective moves at least one byte");
+        let steps = match op {
+            CollectiveOp::RingAllreduce => ring_steps(ranks, data_bytes),
+            CollectiveOp::TreeAllreduce => tree_steps(ranks, data_bytes),
+            CollectiveOp::AllToAll => all_to_all_steps(ranks, data_bytes),
+        };
+        CollectiveSchedule {
+            op,
+            ranks,
+            data_bytes,
+            steps,
+        }
+    }
+
+    /// Total bytes put on the wire across all steps.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .flatten()
+            .map(|&(_, _, bytes)| bytes)
+            .sum()
+    }
+
+    /// Total number of transfers across all steps.
+    pub fn total_transfers(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+}
+
+/// Chunk size for algorithms that move D in N shards. Rounds up so no
+/// transfer degenerates to zero bytes.
+fn chunk(data_bytes: u64, ranks: usize) -> u64 {
+    data_bytes.div_ceil(ranks as u64).max(1)
+}
+
+fn ring_steps(ranks: usize, data_bytes: u64) -> Vec<Vec<Transfer>> {
+    let c = chunk(data_bytes, ranks);
+    // Reduce-scatter then allgather: both phases are N−1 identical
+    // neighbor-shift steps, so the wire schedule is 2(N−1) rounds of
+    // "every rank i sends one chunk to (i+1) mod N".
+    (0..2 * (ranks - 1))
+        .map(|_| (0..ranks).map(|i| (i, (i + 1) % ranks, c)).collect())
+        .collect()
+}
+
+/// Level of rank `i` in the heap-indexed binary tree (root = rank 0).
+fn tree_level(i: usize) -> usize {
+    (usize::BITS - 1 - (i + 1).leading_zeros()) as usize
+}
+
+fn tree_steps(ranks: usize, data_bytes: u64) -> Vec<Vec<Transfer>> {
+    let depth = tree_level(ranks - 1);
+    let at_level = |l: usize| (0..ranks).filter(move |&i| i > 0 && tree_level(i) == l);
+    let mut steps: Vec<Vec<Transfer>> = Vec::with_capacity(2 * depth);
+    // Reduce: deepest level first, children send the full payload to
+    // their parent (i−1)/2.
+    for l in (1..=depth).rev() {
+        steps.push(at_level(l).map(|i| (i, (i - 1) / 2, data_bytes)).collect());
+    }
+    // Broadcast: parents push the reduced payload back down.
+    for l in 1..=depth {
+        steps.push(at_level(l).map(|i| ((i - 1) / 2, i, data_bytes)).collect());
+    }
+    steps
+}
+
+fn all_to_all_steps(ranks: usize, data_bytes: u64) -> Vec<Vec<Transfer>> {
+    let c = chunk(data_bytes, ranks);
+    (1..ranks)
+        .map(|s| (0..ranks).map(|i| (i, (i + s) % ranks, c)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_moves_the_optimal_byte_count() {
+        let s = CollectiveSchedule::new(CollectiveOp::RingAllreduce, 8, 800);
+        assert_eq!(s.steps.len(), 14); // 2(N−1)
+        assert_eq!(s.total_transfers(), 14 * 8);
+        // Each rank sends 2(N−1)·D/N bytes — the allreduce lower bound.
+        assert_eq!(s.total_bytes(), 14 * 8 * 100);
+        for step in &s.steps {
+            for &(src, dst, _) in step {
+                assert_eq!(dst, (src + 1) % 8);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reduces_then_broadcasts() {
+        let s = CollectiveSchedule::new(CollectiveOp::TreeAllreduce, 7, 1000);
+        // Depth-2 complete tree: 2 reduce + 2 broadcast steps.
+        assert_eq!(s.steps.len(), 4);
+        // Every non-root rank appears once as reduce source and once as
+        // broadcast destination, always carrying the full payload.
+        let reduce_srcs: Vec<usize> = s.steps[..2]
+            .iter()
+            .flatten()
+            .map(|&(src, _, b)| {
+                assert_eq!(b, 1000);
+                src
+            })
+            .collect();
+        let bcast_dsts: Vec<usize> = s.steps[2..]
+            .iter()
+            .flatten()
+            .map(|&(_, dst, _)| dst)
+            .collect();
+        let mut sorted = reduce_srcs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..7).collect::<Vec<_>>());
+        let mut sorted = bcast_dsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..7).collect::<Vec<_>>());
+        // Reduce edges terminate at the tree parent.
+        for &(src, dst, _) in s.steps.iter().flatten() {
+            assert!(src < 7 && dst < 7 && src != dst);
+        }
+    }
+
+    #[test]
+    fn all_to_all_covers_every_ordered_pair_once() {
+        let n = 6;
+        let s = CollectiveSchedule::new(CollectiveOp::AllToAll, n, 6000);
+        assert_eq!(s.steps.len(), n - 1);
+        let mut pairs = std::collections::HashSet::new();
+        for &(src, dst, b) in s.steps.iter().flatten() {
+            assert_eq!(b, 1000);
+            assert_ne!(src, dst);
+            assert!(pairs.insert((src, dst)), "pair repeated");
+        }
+        assert_eq!(pairs.len(), n * (n - 1));
+    }
+
+    #[test]
+    fn odd_sizes_round_chunks_up() {
+        let s = CollectiveSchedule::new(CollectiveOp::AllToAll, 3, 100);
+        for &(_, _, b) in s.steps.iter().flatten() {
+            assert_eq!(b, 34);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 ranks")]
+    fn rejects_single_rank() {
+        CollectiveSchedule::new(CollectiveOp::RingAllreduce, 1, 100);
+    }
+}

@@ -14,11 +14,13 @@
 //!   definition.
 
 pub mod cdf;
+pub mod collective;
 pub mod dists;
 pub mod incast;
 pub mod traffic;
 
 pub use cdf::EmpiricalCdf;
+pub use collective::{CollectiveOp, CollectiveSchedule, Transfer};
 pub use dists::TrafficMix;
 pub use incast::{request_completion_times, IncastPattern};
 pub use traffic::{offered_load, FlowRequest, TrafficClass, TrafficGen};

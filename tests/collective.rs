@@ -1,0 +1,61 @@
+//! Acceptance: a k=4 fat-tree ring-allreduce completes under all five
+//! congestion-control algorithms with zero hung flows, and the three
+//! collective schedules all run end-to-end under MLCC.
+
+use mlcc_bench::algo::Algo;
+use mlcc_bench::scenarios::collective::{run, CollectiveConfig};
+use netsim::prelude::*;
+use workload::CollectiveOp;
+
+fn base() -> CollectiveConfig {
+    CollectiveConfig {
+        bytes_per_rank: 64_000,
+        fat_tree: FatTreeParams::default(), // k=4, 16 hosts
+        ..CollectiveConfig::default()
+    }
+}
+
+#[test]
+fn ring_allreduce_completes_under_all_five_algorithms() {
+    for algo in Algo::ALL {
+        let r = run(&CollectiveConfig { algo, ..base() });
+        assert_eq!(r.ranks, 16);
+        assert_eq!(
+            r.hung_flows, 0,
+            "{algo:?}: ring allreduce left flows hanging"
+        );
+        // 2(N−1) = 30 steps of N = 16 transfers each.
+        assert_eq!(r.completed_flows, 30 * 16, "{algo:?}");
+        assert!(r.total_time < SEC, "{algo:?}: implausibly slow");
+    }
+}
+
+#[test]
+fn every_collective_op_completes_under_mlcc() {
+    for op in CollectiveOp::ALL {
+        let r = run(&CollectiveConfig { op, ..base() });
+        assert_eq!(r.hung_flows, 0, "{op:?} hung");
+        assert!(r.completed_flows > 0);
+        assert!(
+            r.step_durations.iter().all(|&d| d > 0),
+            "{op:?}: empty step"
+        );
+    }
+}
+
+#[test]
+fn lockstep_iterations_are_deterministic() {
+    let cfg = CollectiveConfig {
+        iterations: 2,
+        fat_tree: FatTreeParams {
+            hosts_per_edge: 1,
+            ..FatTreeParams::default()
+        },
+        ..base()
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.step_durations, b.step_durations);
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.step_durations.len(), 2 * 14);
+}
