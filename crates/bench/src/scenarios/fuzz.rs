@@ -105,6 +105,11 @@ pub struct FuzzSpec {
     pub gv: u8,
     /// `CHAOS_*` invariant breaker (demo tests only).
     pub chaos: u8,
+    /// PFC headroom clause for the intra-DC switches: 0 = auto-size
+    /// from the upstream link (`headroom_bytes: None`), 1 = legacy
+    /// no-headroom model (`Some(0)`), n ≥ 2 = static `Some(n · 1024)`
+    /// per ingress port.
+    pub hr: u32,
 }
 
 impl FuzzSpec {
@@ -131,6 +136,7 @@ impl FuzzSpec {
             nf: shape.gen_range(0..16) as u8,
             gv: shape.gen_range(0..8) as u8,
             chaos: CHAOS_NONE,
+            hr: 0,
         };
         // Appended draws, same discipline: half the seeds upgrade to
         // the multipath topologies (fat-tree, island mesh) and half to
@@ -144,6 +150,20 @@ impl FuzzSpec {
         if wl_ext >= 2 {
             spec.wl = wl_ext;
         }
+        // Headroom clause from its own `(seed, 5)` substream (the shape
+        // stream above is untouched, so every older seed keeps its
+        // shape bit-for-bit). Both parameters are drawn unconditionally
+        // in fixed order: most seeds run the auto-sized model, one in
+        // eight keeps the legacy no-headroom mode, one in eight pins a
+        // small static per-port reservation.
+        let mut hrs = Xoshiro256StarStar::substream(seed, 5);
+        let mode = hrs.gen_range(0..8);
+        let kb = 2 + hrs.gen_range(0..62);
+        spec.hr = match mode {
+            0..=5 => 0,
+            6 => 1,
+            _ => kb as u32,
+        };
         spec
     }
 
@@ -221,6 +241,16 @@ impl FuzzSpec {
         let window = (5 + draws.gen_range(0..25)) as Time * MS;
         (rto, deadline, window)
     }
+
+    /// Expand the `hr` clause into the [`PfcConfig::headroom_bytes`]
+    /// knob applied to the intra-DC switches.
+    fn headroom(&self) -> Option<u64> {
+        match self.hr {
+            0 => None,
+            1 => Some(0),
+            n => Some(n as u64 * 1024),
+        }
+    }
 }
 
 /// Expanded node-fault parameters (see [`FuzzSpec::node_fault_plan`]).
@@ -241,7 +271,7 @@ impl std::fmt::Display for FuzzSpec {
         write!(
             f,
             "seed={},algo={},topo={},hosts={},flows={},stop_ms={},\
-             faults={},wl={},buf_kb={},nf={},gv={},chaos={}",
+             faults={},wl={},buf_kb={},nf={},gv={},chaos={},hr={}",
             self.seed,
             self.algo,
             self.topo,
@@ -253,7 +283,8 @@ impl std::fmt::Display for FuzzSpec {
             self.buf_kb,
             self.nf,
             self.gv,
-            self.chaos
+            self.chaos,
+            self.hr
         )
     }
 }
@@ -273,6 +304,7 @@ pub fn parse_spec(s: &str) -> Result<FuzzSpec, String> {
         nf: 0,
         gv: 0,
         chaos: CHAOS_NONE,
+        hr: 0,
     };
     for kv in s.split(',') {
         let (k, v) = kv
@@ -296,6 +328,7 @@ pub fn parse_spec(s: &str) -> Result<FuzzSpec, String> {
             "nf" => spec.nf = parse("nf")? as u8,
             "gv" => spec.gv = parse("gv")? as u8,
             "chaos" => spec.chaos = parse("chaos")? as u8,
+            "hr" => spec.hr = parse("hr")? as u32,
             other => return Err(format!("unknown spec key {other:?}")),
         }
     }
@@ -353,7 +386,13 @@ pub fn run_spec(spec: &FuzzSpec) -> FuzzOutcome {
             },
             ..SimConfig::default()
         };
-        let mut sim = Simulator::new(net, cfg, spec.algo().factory());
+        // Distinguish "the validator refused this input" from an engine
+        // invariant firing: a rejected config never ran, so it must not
+        // count as a reproduction during shrinking.
+        let mut sim = match Simulator::try_new(net, cfg, spec.algo().factory()) {
+            Ok(sim) => sim,
+            Err(e) => panic!("CONFIG REJECTED: {e}"),
+        };
         #[cfg(feature = "audit")]
         {
             sim.audit.chaos = match spec.chaos {
@@ -483,6 +522,7 @@ fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>, Vec<NodeId>
             if spec.buf_kb > 0 {
                 params.tor_buffer = spec.buf_kb as u64 * 1024;
             }
+            params.pfc.headroom_bytes = spec.headroom();
             let topo = DumbbellTopology::build(params);
             let servers: Vec<NodeId> = topo.servers.iter().flatten().copied().collect();
             (topo.net, topo.long_haul, servers, topo.tors.to_vec())
@@ -496,6 +536,7 @@ fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>, Vec<NodeId>
             if spec.buf_kb > 0 {
                 params.dc_switch_buffer = spec.buf_kb as u64 * 1024;
             }
+            params.pfc.headroom_bytes = spec.headroom();
             let topo = TwoDcTopology::build(params);
             let servers = topo.net.hosts.clone();
             let switches: Vec<NodeId> = topo.leaves.iter().flatten().copied().collect();
@@ -509,6 +550,7 @@ fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>, Vec<NodeId>
             if spec.buf_kb > 0 {
                 params.switch_buffer = spec.buf_kb as u64 * 1024;
             }
+            params.pfc.headroom_bytes = spec.headroom();
             let topo = FatTreeTopology::build(params);
             let servers = topo.hosts.clone();
             let switches = topo.pod_switches();
@@ -528,6 +570,7 @@ fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>, Vec<NodeId>
             if spec.buf_kb > 0 {
                 params.dc_switch_buffer = spec.buf_kb as u64 * 1024;
             }
+            params.pfc.headroom_bytes = spec.headroom();
             let topo = MultiDcTopology::build(params);
             let servers: Vec<NodeId> = topo.servers.iter().flatten().copied().collect();
             let switches: Vec<NodeId> = topo.island_switches.iter().flatten().copied().collect();
@@ -538,12 +581,18 @@ fn build_net(spec: &FuzzSpec) -> (Network, [LinkId; 2], Vec<NodeId>, Vec<NodeId>
 }
 
 /// Greedy minimization: keep applying the first size reduction that
-/// still violates until none does.
+/// still violates until none does. A candidate the config validator
+/// rejects (`CONFIG REJECTED`) is not a reproduction — the engine never
+/// ran — so shrinking skips it rather than slipping onto a different
+/// failure class.
 pub fn shrink(mut spec: FuzzSpec) -> FuzzSpec {
     loop {
         let mut improved = false;
         for cand in candidates(&spec) {
-            if run_spec(&cand).violation.is_some() {
+            let still_violates = run_spec(&cand)
+                .violation
+                .is_some_and(|m| !m.starts_with("CONFIG REJECTED"));
+            if still_violates {
                 spec = cand;
                 improved = true;
                 break;
@@ -599,6 +648,15 @@ fn candidates(s: &FuzzSpec) -> Vec<FuzzSpec> {
             });
         }
     }
+    // Headroom shrink bits: first try the auto-sized default, then the
+    // legacy no-headroom model (static reservations are the least
+    // common clause, so removing them simplifies the reproduction).
+    if s.hr != 0 {
+        v.push(FuzzSpec { hr: 0, ..*s });
+    }
+    if s.hr > 1 {
+        v.push(FuzzSpec { hr: 1, ..*s });
+    }
     v
 }
 
@@ -614,11 +672,48 @@ mod tests {
             spec.nf = NF_HOST_CRASH | NF_RESTART;
             spec.gv = GV_WATCHDOG;
             spec.chaos = CHAOS_LEAK;
+            spec.hr = 48;
             let parsed = parse_spec(&spec.to_string()).expect("own format parses");
             assert_eq!(parsed, spec);
         }
+        // Pre-`hr` replay lines still parse, defaulting to the auto
+        // model (a missing clause must never change the parse).
+        let old = parse_spec(
+            "seed=7,algo=0,topo=1,hosts=2,flows=8,stop_ms=40,\
+             faults=0,wl=1,buf_kb=0,nf=0,gv=0,chaos=0",
+        )
+        .expect("pre-hr replay lines parse");
+        assert_eq!(old.hr, 0);
         assert!(parse_spec("seed=1,bogus=2").is_err());
         assert!(parse_spec("no-equals").is_err());
+    }
+
+    #[test]
+    fn headroom_draws_leave_old_seed_shapes_intact() {
+        // The `hr` clause draws from `(seed, 5)`, not the shape stream,
+        // so every pre-headroom attribute of an old seed is unchanged —
+        // these values were printed by the pre-headroom generator.
+        let s7 = FuzzSpec::generate(7);
+        assert_eq!(
+            (
+                s7.algo,
+                s7.topo,
+                s7.hosts,
+                s7.flows,
+                s7.stop_ms,
+                s7.fault_mask,
+                s7.wl,
+                s7.nf,
+                s7.gv
+            ),
+            (2, 3, 2, 7, 53, 55, 0, 13, 5),
+            "seed 7 shape drifted: {s7}"
+        );
+        // The hr distribution covers all three modes across seeds.
+        let specs: Vec<FuzzSpec> = (1..=64).map(FuzzSpec::generate).collect();
+        assert!(specs.iter().any(|s| s.hr == 0), "no auto-headroom seed");
+        assert!(specs.iter().any(|s| s.hr == 1), "no legacy seed");
+        assert!(specs.iter().any(|s| s.hr >= 2), "no static-headroom seed");
     }
 
     #[test]
@@ -696,6 +791,10 @@ mod tests {
             nf: 0,
             gv: 0,
             chaos: CHAOS_SKIP_PFC,
+            // Legacy no-headroom model: auto-sizing would reserve more
+            // than this squeezed buffer even holds, and the chaos demo
+            // is about suppressed pauses, not the headroom fix.
+            hr: 1,
         };
         let out = run_spec(&spec);
         let msg = out.violation.expect("suppressed PFC must be caught");
@@ -770,9 +869,57 @@ mod tests {
             nf: 0,
             gv: 0,
             chaos: CHAOS_LEAK,
+            hr: 1, // legacy model: auto headroom exceeds the 192 KB squeeze
         };
         let out = run_spec(&spec);
         let msg = out.violation.expect("a leaked packet must be caught");
         assert!(msg.contains("AUDIT VIOLATION"), "unexpected: {msg}");
+    }
+
+    /// The PR 8 two-spine incast, promoted from the shrunk
+    /// `seeded_pfc_fault_is_caught_and_shrunk` finding into a pinned
+    /// regression with checked-in `--replay` lines. `hr=1` replays the
+    /// pre-headroom switch model: PFC pauses fire at the dynamic
+    /// threshold but nothing absorbs the in-flight tail that lands
+    /// during pause propagation, and with the incast spread over both
+    /// spines the squeezed 192 KB buffer overflows — real data drops at
+    /// a PFC-enabled switch. `hr=0` (auto-sized headroom) makes the
+    /// same incast lossless by construction; the buffer rises to 512 KB
+    /// because the reservation itself (≈ 271 KB on a leaf, ≈ 381 KB on
+    /// a spine) must fit alongside a working shared pool.
+    #[test]
+    fn headroom_regression_two_spine_incast() {
+        const PRE_FIX: &str = "seed=7,algo=0,topo=1,hosts=2,flows=8,stop_ms=40,\
+                               faults=0,wl=1,buf_kb=192,nf=0,gv=0,chaos=0,hr=1";
+        const POST_FIX: &str = "seed=7,algo=0,topo=1,hosts=2,flows=8,stop_ms=40,\
+                                faults=0,wl=1,buf_kb=512,nf=0,gv=0,chaos=0,hr=0";
+        let pre = parse_spec(PRE_FIX).expect("checked-in replay line parses");
+        let out = run_spec(&pre);
+        // Without the audit feature the run completes and reports the
+        // drops; with it the losslessness invariant fires first.
+        #[cfg(feature = "audit")]
+        {
+            let msg = out
+                .violation
+                .expect("pre-headroom model must violate losslessness");
+            assert!(
+                msg.contains("AUDIT VIOLATION") && msg.contains("lossless"),
+                "unexpected violation: {msg}"
+            );
+        }
+        #[cfg(not(feature = "audit"))]
+        assert!(
+            out.buffer_drops > 0,
+            "pre-headroom model must drop at the PFC-enabled switches"
+        );
+
+        let post = parse_spec(POST_FIX).expect("checked-in replay line parses");
+        let out = run_spec(&post);
+        assert!(
+            out.violation.is_none(),
+            "auto headroom must be lossless: {:?}",
+            out.violation
+        );
+        assert_eq!(out.buffer_drops, 0, "auto headroom must not drop");
     }
 }

@@ -152,6 +152,18 @@ pub enum ConfigError {
     /// A Gilbert–Elliott transition probability of exactly 1.0
     /// collapses one of the two states to zero dwell time.
     ZeroLengthGilbertState { state: &'static str },
+    /// A switch whose summed per-ingress PFC headroom reservation
+    /// consumes (or exceeds) its whole buffer leaves no shared pool at
+    /// all: every droppable packet would be refused at admission.
+    HeadroomExceedsBuffer {
+        node: NodeId,
+        headroom_bytes: u64,
+        capacity: u64,
+    },
+    /// Nonzero PFC headroom configured on a switch whose PFC is
+    /// disabled: the reservation could never be charged and would only
+    /// silently shrink the shared pool.
+    HeadroomOnPfcDisabled { node: NodeId },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -205,6 +217,20 @@ impl std::fmt::Display for ConfigError {
                 "Gilbert-Elliott {state} state has zero dwell time \
                  (transition probability 1.0)"
             ),
+            ConfigError::HeadroomExceedsBuffer {
+                node,
+                headroom_bytes,
+                capacity,
+            } => write!(
+                f,
+                "switch {node} reserves {headroom_bytes} B of PFC headroom \
+                 but only has {capacity} B of buffer (no shared pool left)"
+            ),
+            ConfigError::HeadroomOnPfcDisabled { node } => write!(
+                f,
+                "switch {node} has PFC disabled but a nonzero headroom_bytes; \
+                 the reservation could never be used"
+            ),
         }
     }
 }
@@ -238,6 +264,26 @@ pub fn validate(cfg: &SimConfig, net: &Network) -> Result<(), ConfigError> {
                 link: lk.id,
                 kmin_bytes: lk.ecn.kmin_bytes,
                 kmax_bytes: lk.ecn.kmax_bytes,
+            });
+        }
+    }
+    for node in &net.nodes {
+        let crate::node::Node::Switch(sw) = node else {
+            continue;
+        };
+        // Headroom was resolved against the concrete upstream links at
+        // build time, so the check sees the summed reservation (not the
+        // per-port knob): degenerate combinations of small buffers with
+        // many or slow-draining ports surface here.
+        if !sw.pfc.enabled && sw.pfc.headroom_bytes.is_some_and(|n| n > 0) {
+            return Err(ConfigError::HeadroomOnPfcDisabled { node: sw.id });
+        }
+        let reserved = sw.buffer.headroom_reserved();
+        if reserved > 0 && reserved >= sw.buffer.capacity() {
+            return Err(ConfigError::HeadroomExceedsBuffer {
+                node: sw.id,
+                headroom_bytes: reserved,
+                capacity: sw.buffer.capacity(),
             });
         }
     }
@@ -342,6 +388,72 @@ mod tests {
                 kmax_bytes: 100_000,
             })
         );
+    }
+
+    #[test]
+    fn headroom_exceeding_buffer_rejected() {
+        // A 100 KB static headroom per ingress on a 64 KB switch: the
+        // two host-facing ports alone reserve 200 KB > 64 KB.
+        let mut b = NetBuilder::new(1000);
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let pfc = PfcConfig {
+            headroom_bytes: Some(100_000),
+            ..PfcConfig::dc_switch()
+        };
+        let s = b.add_switch(SwitchKind::Leaf, 64_000, pfc);
+        b.connect(h0, s, GBPS, US, LinkOpts::default());
+        b.connect(s, h1, GBPS, US, LinkOpts::default());
+        assert_eq!(
+            validate(&SimConfig::default(), &b.build()),
+            Err(ConfigError::HeadroomExceedsBuffer {
+                node: NodeId(2),
+                headroom_bytes: 200_000,
+                capacity: 64_000,
+            })
+        );
+    }
+
+    #[test]
+    fn headroom_on_pfc_disabled_rejected() {
+        let mut b = NetBuilder::new(1000);
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let pfc = PfcConfig {
+            headroom_bytes: Some(10_000),
+            ..PfcConfig::disabled()
+        };
+        let s = b.add_switch(SwitchKind::Leaf, 1 << 20, pfc);
+        b.connect(h0, s, GBPS, US, LinkOpts::default());
+        b.connect(s, h1, GBPS, US, LinkOpts::default());
+        assert_eq!(
+            validate(&SimConfig::default(), &b.build()),
+            Err(ConfigError::HeadroomOnPfcDisabled { node: NodeId(2) })
+        );
+    }
+
+    #[test]
+    fn auto_and_legacy_headroom_pass_validation() {
+        // Auto-sized (None) fits the default 1 MB line, and Some(0) is
+        // the legacy no-headroom mode; both are valid.
+        assert_eq!(validate(&SimConfig::default(), &line(GBPS, None)), Ok(()));
+        let mut b = NetBuilder::new(1000);
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let s = b.add_switch(
+            SwitchKind::Leaf,
+            1 << 20,
+            PfcConfig::dc_switch().without_headroom(),
+        );
+        b.connect(h0, s, GBPS, US, LinkOpts::default());
+        b.connect(s, h1, GBPS, US, LinkOpts::default());
+        let net = b.build();
+        let sw = match &net.nodes[2] {
+            crate::node::Node::Switch(sw) => sw,
+            _ => unreachable!(),
+        };
+        assert_eq!(sw.buffer.headroom_reserved(), 0, "legacy reserves nothing");
+        assert_eq!(validate(&SimConfig::default(), &net), Ok(()));
     }
 
     #[test]

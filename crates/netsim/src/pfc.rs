@@ -9,8 +9,22 @@
 //! Thresholds are either static per port or "dynamic threshold" (DT), the
 //! scheme shipped in shared-buffer ASICs: an ingress may hold at most
 //! `alpha × (free buffer)` bytes.
+//!
+//! ## Dedicated per-port headroom
+//!
+//! Crossing Xoff does not stop traffic instantly: the PAUSE frame takes
+//! one propagation delay to reach the upstream peer, and everything the
+//! peer put on the wire in the meantime still lands here. Real RoCEv2
+//! switches therefore reserve dedicated *headroom* per ingress port,
+//! sized to the pause loop: `2 × link delay × link rate + 2 MTU`. The
+//! reservation is carved out of the shared pool at topology-build time
+//! (shrinking the DT free pool, so Xoff fires while the headroom can
+//! still absorb the in-flight tail), and bytes arriving on a paused
+//! ingress are charged to its headroom instead of the shared pool. With
+//! correctly sized headroom a PFC-enabled switch is lossless *by
+//! construction*, not by buffer-sizing convention.
 
-use crate::units::Time;
+use crate::units::{bytes_in, Bandwidth, Time};
 
 /// How the Xoff threshold is computed.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,17 +43,24 @@ pub struct PfcConfig {
     /// Hysteresis gap: resume once the ingress drops below
     /// `threshold - xon_gap_bytes`.
     pub xon_gap_bytes: u64,
+    /// Dedicated per-ingress-port headroom. `None` auto-sizes each port
+    /// from its upstream link (`2 × delay × rate + 2 MTU`) at
+    /// topology-build time; `Some(0)` disables the reservation (the
+    /// legacy shared-pool-only model); `Some(n)` reserves exactly `n`
+    /// bytes per ingress port.
+    pub headroom_bytes: Option<u64>,
 }
 
 impl PfcConfig {
     /// Typical shallow-buffer DC switch configuration: dynamic threshold
-    /// with α = 1/8 (the classic Broadcom shared-buffer setting) and a
-    /// 2-MTU hysteresis gap.
+    /// with α = 1/8 (the classic Broadcom shared-buffer setting), a
+    /// 2-MTU hysteresis gap, and auto-sized per-port headroom.
     pub fn dc_switch() -> Self {
         PfcConfig {
             enabled: true,
             threshold: PfcThreshold::Dynamic { alpha: 0.125 },
             xon_gap_bytes: 2 * 1048,
+            headroom_bytes: None,
         }
     }
 
@@ -49,6 +70,7 @@ impl PfcConfig {
             enabled: true,
             threshold: PfcThreshold::Static { xoff_bytes },
             xon_gap_bytes: 2 * 1048,
+            headroom_bytes: None,
         }
     }
 
@@ -59,15 +81,33 @@ impl PfcConfig {
                 xoff_bytes: u64::MAX,
             },
             xon_gap_bytes: 0,
+            headroom_bytes: Some(0),
         }
     }
 
-    /// Current Xoff threshold given total buffer occupancy.
-    pub fn xoff_threshold(&self, buffer_capacity: u64, buffer_used: u64) -> u64 {
+    /// The legacy shared-pool-only model: PFC on, no reserved headroom.
+    pub fn without_headroom(mut self) -> Self {
+        self.headroom_bytes = Some(0);
+        self
+    }
+
+    /// Pause-loop headroom for one ingress port: the bytes the upstream
+    /// peer can land here between the Xoff crossing and the pause taking
+    /// hold — one propagation delay for the PAUSE frame to travel
+    /// upstream plus one for the wire to drain, at line rate, padded by
+    /// one MTU mid-serialization at each end.
+    pub fn auto_headroom_bytes(bandwidth: Bandwidth, delay: Time, mtu_wire: u64) -> u64 {
+        bytes_in(2 * delay, bandwidth) + 2 * mtu_wire
+    }
+
+    /// Current Xoff threshold given the *shared-pool* occupancy (the
+    /// pool with every port's headroom reservation already carved out —
+    /// see [`crate::buffer::SharedBuffer::shared_capacity`]).
+    pub fn xoff_threshold(&self, shared_capacity: u64, shared_used: u64) -> u64 {
         match self.threshold {
             PfcThreshold::Static { xoff_bytes } => xoff_bytes,
             PfcThreshold::Dynamic { alpha } => {
-                let free = buffer_capacity.saturating_sub(buffer_used);
+                let free = shared_capacity.saturating_sub(shared_used);
                 (alpha * free as f64) as u64
             }
         }
@@ -80,6 +120,9 @@ pub struct IngressState {
     /// Data bytes currently queued in the switch that arrived on this
     /// ingress.
     pub bytes: u64,
+    /// The subset of `bytes` charged to this port's dedicated headroom
+    /// (arrivals that landed while the upstream was being paused).
+    pub hr_bytes: u64,
     /// True while this ingress has paused its upstream peer.
     pub paused_upstream: bool,
     /// Number of Xoff (pause) transitions — the paper's "PFC triggers".
@@ -125,23 +168,45 @@ impl IngressState {
         }
     }
 
+    /// Account an arriving data packet charged to this port's dedicated
+    /// headroom (only possible while the upstream is paused — the
+    /// in-flight tail of the pause loop). Never triggers a further
+    /// pause: the headroom exists precisely to absorb these bytes.
+    pub fn on_enqueue_headroom(&mut self, bytes: u64) {
+        debug_assert!(
+            self.paused_upstream,
+            "headroom charge on an unpaused ingress"
+        );
+        self.bytes += bytes;
+        self.hr_bytes += bytes;
+    }
+
     /// Account a departing data packet and decide whether to resume.
+    /// `from_headroom` is the portion drained from the port's headroom
+    /// occupancy (headroom drains first; see the caller in `sim.rs`).
+    /// Resume additionally requires the headroom to be fully drained,
+    /// so every pause cycle starts with the whole reservation available
+    /// to absorb the next in-flight tail.
     pub fn on_dequeue(
         &mut self,
         bytes: u64,
+        from_headroom: u64,
         cfg: &PfcConfig,
-        buffer_capacity: u64,
-        buffer_used: u64,
+        shared_capacity: u64,
+        shared_used: u64,
         now: Time,
     ) -> PfcAction {
         debug_assert!(self.bytes >= bytes, "ingress accounting underflow");
+        debug_assert!(self.hr_bytes >= from_headroom, "headroom underflow");
+        debug_assert!(from_headroom <= bytes, "headroom share exceeds packet");
         self.bytes = self.bytes.saturating_sub(bytes);
+        self.hr_bytes = self.hr_bytes.saturating_sub(from_headroom);
         if !cfg.enabled || !self.paused_upstream {
             return PfcAction::None;
         }
-        let xoff = cfg.xoff_threshold(buffer_capacity, buffer_used);
+        let xoff = cfg.xoff_threshold(shared_capacity, shared_used);
         let xon = xoff.saturating_sub(cfg.xon_gap_bytes);
-        if self.bytes <= xon {
+        if self.bytes <= xon && self.hr_bytes == 0 {
             self.paused_upstream = false;
             if let Some(since) = self.paused_since.take() {
                 self.paused_total += now.saturating_sub(since);
@@ -173,11 +238,14 @@ mod tests {
         );
         assert_eq!(st.pause_count, 1);
         // Still above Xon: no resume yet.
-        assert_eq!(st.on_dequeue(1, &cfg, CAP, 10_000, 2 * US), PfcAction::None);
+        assert_eq!(
+            st.on_dequeue(1, 0, &cfg, CAP, 10_000, 2 * US),
+            PfcAction::None
+        );
         // Drain below xoff - gap.
         let target = 10_000 - cfg.xon_gap_bytes;
         assert_eq!(
-            st.on_dequeue(st.bytes - target, &cfg, CAP, target, 3 * US),
+            st.on_dequeue(st.bytes - target, 0, &cfg, CAP, target, 3 * US),
             PfcAction::Resume
         );
         assert!(!st.paused_upstream);
@@ -199,6 +267,7 @@ mod tests {
             enabled: true,
             threshold: PfcThreshold::Dynamic { alpha: 1.0 },
             xon_gap_bytes: 0,
+            headroom_bytes: Some(0),
         };
         // Nearly empty buffer: threshold near capacity.
         assert_eq!(cfg.xoff_threshold(CAP, 0), CAP);
@@ -226,8 +295,138 @@ mod tests {
         st.on_enqueue(10_001, &cfg, CAP, 10_001, 0);
         assert!(st.paused_upstream);
         // Dequeue 1 byte: still paused (within the hysteresis band).
-        assert_eq!(st.on_dequeue(1, &cfg, CAP, 10_000, 0), PfcAction::None);
+        assert_eq!(st.on_dequeue(1, 0, &cfg, CAP, 10_000, 0), PfcAction::None);
         assert!(st.paused_upstream);
+    }
+
+    // -----------------------------------------------------------------
+    // Headroom unit math.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn auto_headroom_matches_hand_computed_values() {
+        use crate::units::{GBPS, US};
+        // 25 Gbps, 1 µs, 1048 B MTU: 2·1e-6·25e9/8 = 6250 B in flight,
+        // plus 2 MTU.
+        assert_eq!(
+            PfcConfig::auto_headroom_bytes(25 * GBPS, US, 1048),
+            6250 + 2 * 1048
+        );
+        // 100 Gbps, 5 µs: 2·5e-6·100e9/8 = 125 000 B.
+        assert_eq!(
+            PfcConfig::auto_headroom_bytes(100 * GBPS, 5 * US, 1048),
+            125_000 + 2 * 1048
+        );
+        // 10 Gbps, 1 µs: 2·1e-6·10e9/8 = 2500 B.
+        assert_eq!(
+            PfcConfig::auto_headroom_bytes(10 * GBPS, US, 1048),
+            2500 + 2 * 1048
+        );
+        // Headroom scales with the MTU term when the wire is short.
+        assert_eq!(PfcConfig::auto_headroom_bytes(GBPS, 0, 1500), 3000);
+    }
+
+    #[test]
+    fn dynamic_threshold_on_the_carved_shared_pool() {
+        // With headroom carved out, the DT threshold sees only the
+        // shared pool: a 1 MB buffer with 200 KB reserved behaves like
+        // an 800 KB buffer for threshold purposes.
+        let cfg = PfcConfig {
+            enabled: true,
+            threshold: PfcThreshold::Dynamic { alpha: 0.125 },
+            xon_gap_bytes: 2 * 1048,
+            headroom_bytes: Some(100_000),
+        };
+        let shared_cap = CAP - 200_000; // two ports × 100 KB
+                                        // Empty shared pool: threshold is α × the carved capacity, not
+                                        // α × the raw capacity.
+        assert_eq!(cfg.xoff_threshold(shared_cap, 0), 100_000);
+        assert!(cfg.xoff_threshold(shared_cap, 0) < cfg.xoff_threshold(CAP, 0));
+        // Occupancy exactly at the reservation boundary.
+        assert_eq!(
+            cfg.xoff_threshold(shared_cap, 200_000),
+            (0.125 * 600_000.0) as u64
+        );
+        // Shared pool full: threshold collapses to zero.
+        assert_eq!(cfg.xoff_threshold(shared_cap, shared_cap), 0);
+        // Over-full (control packets are never refused): saturates, no
+        // underflow.
+        assert_eq!(cfg.xoff_threshold(shared_cap, shared_cap + 5_000), 0);
+    }
+
+    #[test]
+    fn headroom_charges_defer_resume_until_drained() {
+        let cfg = PfcConfig::with_static(10_000);
+        let mut st = IngressState::default();
+        assert_eq!(
+            st.on_enqueue(10_001, &cfg, CAP, 10_001, 0),
+            PfcAction::Pause
+        );
+        // The in-flight tail lands in headroom while paused.
+        st.on_enqueue_headroom(3_000);
+        assert_eq!(st.bytes, 13_001);
+        assert_eq!(st.hr_bytes, 3_000);
+        // Drain below Xon but with headroom still occupied: no resume —
+        // the next pause cycle must start with the full reservation.
+        assert_eq!(
+            st.on_dequeue(12_000, 2_000, &cfg, CAP, 1_001, US),
+            PfcAction::None
+        );
+        assert!(st.paused_upstream);
+        assert_eq!(st.hr_bytes, 1_000);
+        // Final headroom byte leaves: now the resume fires.
+        assert_eq!(
+            st.on_dequeue(1_000, 1_000, &cfg, CAP, 1, 2 * US),
+            PfcAction::Resume
+        );
+        assert_eq!(st.hr_bytes, 0);
+        assert!(!st.paused_upstream);
+    }
+
+    #[test]
+    fn xon_gap_interacts_with_the_carved_threshold() {
+        // Static Xoff 10 000, gap 2096: Xon at 7904 regardless of the
+        // carve-out; with a dynamic threshold the gap applies to the
+        // shrunken threshold instead.
+        let st_cfg = PfcConfig::with_static(10_000);
+        let mut st = IngressState::default();
+        st.on_enqueue(10_001, &st_cfg, CAP, 10_001, 0);
+        assert_eq!(
+            st.on_dequeue(10_001 - 7_905, 0, &st_cfg, CAP, 7_905, 0),
+            PfcAction::None,
+            "one byte above Xon must stay paused"
+        );
+        assert_eq!(
+            st.on_dequeue(1, 0, &st_cfg, CAP, 7_904, 0),
+            PfcAction::Resume
+        );
+
+        let dyn_cfg = PfcConfig {
+            enabled: true,
+            threshold: PfcThreshold::Dynamic { alpha: 0.5 },
+            xon_gap_bytes: 1_000,
+            headroom_bytes: Some(100_000),
+        };
+        let shared_cap = 100_000;
+        // Threshold α·(shared free); at 60 KB used the threshold is
+        // 20 KB, so 21 KB of ingress occupancy pauses.
+        let mut st = IngressState::default();
+        st.on_enqueue(21_000, &dyn_cfg, shared_cap, 60_000, 0);
+        assert!(st.paused_upstream);
+        // After draining 500 B the threshold is 0.5·40 500 = 20 250 and
+        // Xon 19 250; 20 500 B queued stays inside the hysteresis band.
+        assert_eq!(
+            st.on_dequeue(500, 0, &dyn_cfg, shared_cap, 59_500, 0),
+            PfcAction::None,
+            "20.5 KB > Xon 19.25 KB: still paused"
+        );
+        // Another 1 500 B out: threshold 0.5·42 000 = 21 000, Xon
+        // 20 000, and 19 000 B queued clears it.
+        assert_eq!(
+            st.on_dequeue(1_500, 0, &dyn_cfg, shared_cap, 58_000, 0),
+            PfcAction::Resume,
+            "19 KB <= Xon 20 KB with empty headroom: resume"
+        );
     }
 }
 
@@ -260,7 +459,7 @@ mod proptests {
                         continue;
                     }
                     used = used.saturating_sub(n);
-                    st.on_dequeue(n, &cfg, 1_000_000, used, 0)
+                    st.on_dequeue(n, 0, &cfg, 1_000_000, used, 0)
                 };
                 match act {
                     PfcAction::Pause => {

@@ -1107,8 +1107,8 @@ impl Simulator {
                     self.pkt_pool.put(pkt);
                     return; // also counted by the buffer
                 }
-                let cap = sw.buffer.capacity();
-                let used = sw.buffer.used();
+                let cap = sw.buffer.shared_capacity();
+                let used = sw.buffer.shared_used();
                 let pfc = sw.pfc;
                 // Ingress accounting kept symmetric with dequeue even
                 // though DCI PFC is disabled by default.
@@ -1185,9 +1185,22 @@ impl Simulator {
         };
         let size = pkt.size as u64;
         let droppable = pkt.is_data();
+        // Headroom charging is decided before admission: a data packet
+        // landing on an ingress that has paused its upstream is the
+        // in-flight tail of the pause loop and draws on the dedicated
+        // reservation (guaranteed admission) instead of the shared pool.
+        let charged_headroom = droppable
+            && in_link.is_some_and(|il| {
+                self.nodes[node.index()]
+                    .as_switch()
+                    .expect("switch")
+                    .charges_headroom(il, size)
+            });
         {
             let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
-            if !sw.buffer.admit(size, droppable) {
+            if charged_headroom {
+                sw.buffer.admit_headroom(size);
+            } else if !sw.buffer.admit(size, droppable) {
                 #[cfg(feature = "audit")]
                 self.audit_on_buffer_drop(node, &pkt);
                 self.record(TraceEvent::PacketDropped {
@@ -1211,34 +1224,41 @@ impl Simulator {
                 pkt.ecn = true;
                 self.out.ecn_marks += 1;
             }
-            // PFC ingress accounting.
+            // PFC ingress accounting. Headroom-charged bytes skip the
+            // threshold check: the ingress is already paused, and the
+            // charge must not re-trigger Pause or move the DT math.
             if let Some(il) = in_link {
-                let signal_delay = self.links[il.index()].delay;
-                let act = {
+                if charged_headroom {
                     let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
-                    let cap = sw.buffer.capacity();
-                    let used = sw.buffer.used();
-                    let pfc = sw.pfc;
-                    sw.ingress
-                        .get_or_default(il)
-                        .on_enqueue(size, &pfc, cap, used, now)
-                };
-                // Chaos shim (identity unless a fuzz test armed it).
-                #[cfg(feature = "audit")]
-                let act = self.audit.chaos_pfc_action(act);
-                if act == PfcAction::Pause {
-                    self.out.pfc_events.push((now, node));
-                    self.record(TraceEvent::PfcPause {
-                        at: node,
-                        ingress: il,
-                    });
-                    self.events.schedule(
-                        now + signal_delay,
-                        Event::PfcUpdate {
-                            link: il,
-                            paused: true,
-                        },
-                    );
+                    sw.ingress.get_or_default(il).on_enqueue_headroom(size);
+                } else {
+                    let signal_delay = self.links[il.index()].delay;
+                    let act = {
+                        let sw = self.nodes[node.index()].as_switch_mut().expect("switch");
+                        let cap = sw.buffer.shared_capacity();
+                        let used = sw.buffer.shared_used();
+                        let pfc = sw.pfc;
+                        sw.ingress
+                            .get_or_default(il)
+                            .on_enqueue(size, &pfc, cap, used, now)
+                    };
+                    // Chaos shim (identity unless a fuzz test armed it).
+                    #[cfg(feature = "audit")]
+                    let act = self.audit.chaos_pfc_action(act);
+                    if act == PfcAction::Pause {
+                        self.out.pfc_events.push((now, node));
+                        self.record(TraceEvent::PfcPause {
+                            at: node,
+                            ingress: il,
+                        });
+                        self.events.schedule(
+                            now + signal_delay,
+                            Event::PfcUpdate {
+                                link: il,
+                                paused: true,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -1492,16 +1512,29 @@ impl Simulator {
         let now = self.now;
         let mut resume_on: Option<LinkId> = None;
         if let Node::Switch(sw) = &mut self.nodes[src.index()] {
+            // Headroom drains first (the Broadcom MMU convention): the
+            // headroom-charged part of this departure is returned to the
+            // reservation, the rest to the shared pool.
+            let from_hr = if is_data {
+                in_link
+                    .and_then(|il| sw.ingress.get(il))
+                    .map_or(0, |st| st.hr_bytes.min(size))
+            } else {
+                0
+            };
             sw.buffer.release(size);
+            if from_hr > 0 {
+                sw.buffer.release_headroom(from_hr);
+            }
             if is_data {
                 if let Some(il) = in_link {
-                    let cap = sw.buffer.capacity();
-                    let used = sw.buffer.used();
+                    let cap = sw.buffer.shared_capacity();
+                    let used = sw.buffer.shared_used();
                     let pfc = sw.pfc;
                     let act = sw
                         .ingress
                         .get_or_default(il)
-                        .on_dequeue(size, &pfc, cap, used, now);
+                        .on_dequeue(size, from_hr, &pfc, cap, used, now);
                     if act == PfcAction::Resume {
                         resume_on = Some(il);
                     }

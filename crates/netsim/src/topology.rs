@@ -149,8 +149,34 @@ impl NetBuilder {
         }
     }
 
-    /// Finalize: compute routing tables.
-    pub fn build(self) -> Network {
+    /// Finalize: resolve per-ingress PFC headroom and compute routing
+    /// tables.
+    ///
+    /// Headroom resolution walks every link into a PFC-enabled switch
+    /// and dedicates `headroom_bytes` of that switch's buffer to the
+    /// ingress port: the configured value when `Some(n)`, or the pause
+    /// loop's worst case `2 × delay × rate + 2 MTU` (computed from the
+    /// upstream link itself) when `None`.
+    pub fn build(mut self) -> Network {
+        let mtu_wire = (self.mtu_payload + crate::packet::DATA_HEADER_BYTES) as u64;
+        for i in 0..self.links.len() {
+            let (id, dst, delay, bw) = {
+                let l = &self.links[i];
+                (l.id, l.dst, l.delay, l.bandwidth)
+            };
+            if let Node::Switch(sw) = &mut self.nodes[dst.index()] {
+                if !sw.pfc.enabled {
+                    continue;
+                }
+                let hr = sw
+                    .pfc
+                    .headroom_bytes
+                    .unwrap_or_else(|| PfcConfig::auto_headroom_bytes(bw, delay, mtu_wire));
+                if hr > 0 {
+                    sw.set_ingress_headroom(id, hr);
+                }
+            }
+        }
         let routes = RoutingTables::build(&GraphView {
             adjacency: &self.adjacency,
             hosts: &self.hosts,
@@ -372,6 +398,8 @@ pub struct DumbbellParams {
     pub tor_buffer: u64,
     pub dci_buffer: u64,
     pub mtu_payload: u32,
+    /// PFC profile of the ToR switches (DCIs always run PFC-disabled).
+    pub pfc: PfcConfig,
 }
 
 impl Default for DumbbellParams {
@@ -384,6 +412,7 @@ impl Default for DumbbellParams {
             tor_buffer: 22_000_000,
             dci_buffer: 128_000_000,
             mtu_payload: 1000,
+            pfc: PfcConfig::dc_switch(),
         }
     }
 }
@@ -408,7 +437,7 @@ impl DumbbellTopology {
         let mut dcis = Vec::new();
         let mut dci_to_tor = Vec::new();
         for _side in 0..2 {
-            let tor = b.add_switch(SwitchKind::Leaf, params.tor_buffer, PfcConfig::dc_switch());
+            let tor = b.add_switch(SwitchKind::Leaf, params.tor_buffer, params.pfc);
             let dci = b.add_switch(SwitchKind::Dci, params.dci_buffer, PfcConfig::disabled());
             let side_servers: Vec<NodeId> = (0..params.servers_per_tor)
                 .map(|_| {
